@@ -1,0 +1,22 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and prints
+the same rows/series the paper reports.  Experiments are full pipelines
+(seconds each), so every benchmark runs `pedantic` with one round — the
+timing situates the cost of regenerating each result, and the assertions
+inside each benchmark validate its headline shape claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,43 @@
+"""Ablation: adaptive vs fixed pre-buffering (§6's closing suggestion).
+
+Replays the delay-crawl traces under fixed P=6 s / P=9 s and under the
+adaptive policy that probes early-session jitter and only falls back to
+9 s on unstable connections.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.adaptive_buffer import AdaptiveBufferPolicy, JitterProbe, evaluate_policies
+from repro.core.pipeline import DelayMeasurementCampaign, hls_viewer_traces
+
+
+def _run() -> dict[str, dict[str, float]]:
+    campaign = DelayMeasurementCampaign(n_broadcasts=40, seed=2)
+    traces = hls_viewer_traces(campaign.run(), np.random.default_rng(2))
+    policy = AdaptiveBufferPolicy(probe=JitterProbe(probe_s=30.0))
+    outcomes = evaluate_policies(traces, 3.0, adaptive=policy)
+    rows = {}
+    for name, outcome in outcomes.items():
+        rows[name] = {
+            "median_stall": round(outcome.median_stall_ratio, 4),
+            "p90_stall": round(outcome.p90_stall_ratio, 4),
+            "median_delay_s": round(outcome.median_delay_s, 2),
+            "mean_delay_s": round(outcome.mean_delay_s, 2),
+        }
+    rows["adaptive"]["fallback_count"] = outcomes["adaptive"].prebuffer_distribution.get(
+        9.0, 0
+    )
+    return rows
+
+
+def test_adaptive_prebuffer_tradeoff(run_once):
+    rows = run_once(_run)
+    print("\n" + format_table(rows, title="Ablation — adaptive vs fixed pre-buffer",
+                              row_header="policy"))
+    # Adaptive cuts delay versus the shipped 9 s default...
+    assert rows["adaptive"]["median_delay_s"] < 0.7 * rows["fixed-9s"]["median_delay_s"]
+    # ...without a stalling collapse (stays near the fixed-6s frontier).
+    assert rows["adaptive"]["p90_stall"] <= rows["fixed-6s"]["p90_stall"] + 0.05

@@ -1,0 +1,62 @@
+"""Ablation: chunk size vs delay and server load (§5.2's central trade-off).
+
+The paper argues Periscope's 3 s chunks sit deliberately between
+low-latency (smaller chunks → less chunking delay, more requests) and
+scalability (Apple VoD uses 10 s).  This ablation sweeps chunk duration
+through the event-level pipeline and the server-load model and reports
+both sides of the trade-off.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.cdn.server_load import ServerLoadModel
+from repro.core.pipeline import DelayMeasurementCampaign
+from repro.platform.apps import PERISCOPE_PROFILE
+
+CHUNK_DURATIONS_S = [1.0, 2.0, 3.0, 6.0, 10.0]
+
+
+def _sweep_chunk_sizes() -> dict[float, dict[str, float]]:
+    rows: dict[float, dict[str, float]] = {}
+    for chunk_s in CHUNK_DURATIONS_S:
+        profile = dataclasses.replace(PERISCOPE_PROFILE, chunk_duration_s=chunk_s)
+        campaign = DelayMeasurementCampaign(
+            n_broadcasts=6, seed=21, profile=profile, max_duration_s=240.0
+        )
+        traces = campaign.run()
+        chunking_delays = []
+        for trace in traces:
+            if trace.chunk_count < 2:
+                continue
+            # Chunking delay ~ time from a chunk's first frame to readiness.
+            chunking_delays.append(float(np.median(np.diff(trace.chunk_ready))))
+        # Server side: requests per viewer per second scale with polling,
+        # but chunklist churn and per-chunk work scale with 1/chunk_s.
+        load = ServerLoadModel(chunk_duration_s=chunk_s)
+        rows[chunk_s] = {
+            "chunking_delay_s": float(np.mean(chunking_delays)),
+            "hls_cpu_at_500": load.hls_cpu(500),
+            "chunks_per_min": 60.0 / chunk_s,
+        }
+    return rows
+
+
+def test_chunk_size_tradeoff(run_once):
+    rows = run_once(_sweep_chunk_sizes)
+    print("\n" + format_table(
+        {f"{k:g}s": v for k, v in rows.items()},
+        title="Ablation — chunk size vs delay and load",
+        row_header="chunk",
+    ))
+    delays = [rows[c]["chunking_delay_s"] for c in CHUNK_DURATIONS_S]
+    cpu = [rows[c]["hls_cpu_at_500"] for c in CHUNK_DURATIONS_S]
+    # Delay grows with chunk size; server cost shrinks.
+    assert all(b > a for a, b in zip(delays, delays[1:]))
+    assert all(b <= a for a, b in zip(cpu, cpu[1:]))
+    # Periscope's 3 s sits between the extremes on both axes.
+    assert delays[0] < rows[3.0]["chunking_delay_s"] < delays[-1]

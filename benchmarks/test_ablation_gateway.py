@@ -1,0 +1,62 @@
+"""Ablation: gateway-based vs direct Wowza→Fastly distribution (§5.3).
+
+The paper infers Periscope routes chunks through a co-located gateway POP
+(explaining the sharp co-location gap in Figure 15).  The alternative —
+the origin pushing to every POP directly — trades origin egress bandwidth
+for the coordination delay.  This ablation quantifies both designs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.cdn.transfer import TransferModel
+from repro.geo.datacenters import FASTLY_DATACENTERS, WOWZA_DATACENTERS
+
+
+def _compare_designs() -> dict[str, dict[str, float]]:
+    rng = np.random.default_rng(41)
+    gateway_model = TransferModel()
+    # "Direct" design: no gateway coordination hop, origin serves each POP.
+    direct_model = TransferModel(coordination_s=0.0, handoff_s=0.0)
+
+    gateway_delays = []
+    direct_delays = []
+    for wowza in WOWZA_DATACENTERS:
+        for fastly in FASTLY_DATACENTERS:
+            for _ in range(5):
+                gateway_delays.append(
+                    gateway_model.transfer_delay_s(wowza, fastly, rng)
+                )
+                direct_delays.append(direct_model.transfer_delay_s(wowza, fastly, rng))
+
+    pops = len(FASTLY_DATACENTERS)
+    chunk_mb = gateway_model.chunk_bytes / 1e6
+    return {
+        "gateway (Periscope)": {
+            "median_w2f_s": float(np.median(gateway_delays)),
+            "p90_w2f_s": float(np.percentile(gateway_delays, 90)),
+            "origin_egress_mb_per_chunk": chunk_mb,  # one copy to the gateway
+        },
+        "direct fan-out": {
+            "median_w2f_s": float(np.median(direct_delays)),
+            "p90_w2f_s": float(np.percentile(direct_delays, 90)),
+            "origin_egress_mb_per_chunk": chunk_mb * pops,  # every POP
+        },
+    }
+
+
+def test_gateway_vs_direct(run_once):
+    rows = run_once(_compare_designs)
+    print("\n" + format_table(rows, title="Ablation — W2F distribution design",
+                              row_header="design"))
+    gateway = rows["gateway (Periscope)"]
+    direct = rows["direct fan-out"]
+    # Direct is faster (no coordination hop)...
+    assert direct["median_w2f_s"] < gateway["median_w2f_s"]
+    # ...but costs the origin 23x the egress bandwidth per chunk: the
+    # scalability-over-latency choice the paper attributes to Periscope.
+    assert direct["origin_egress_mb_per_chunk"] == (
+        23 * gateway["origin_egress_mb_per_chunk"]
+    )

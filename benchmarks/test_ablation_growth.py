@@ -1,0 +1,55 @@
+"""Ablation: the growth projection and the interactivity cost of delay.
+
+Backs the paper's framing question — "can personalized livestreams
+continue to scale, while allowing their audiences to experience desired
+levels of interactivity?" — with two quantified curves:
+
+* as broadcast volume grows on a fixed fleet, the feasible chunk size and
+  hence the HLS delay ratchet upward (abstract / §5.2),
+* as delay grows, heart feedback becomes misattributed and poll
+  participation collapses (§1's motivation).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.core.interactivity import InteractivityStudy
+from repro.core.projection import GrowthProjection
+
+STREAM_GROWTH = [2_000, 10_000, 20_000, 30_000, 38_000]
+
+
+def _project_and_score() -> dict[str, dict[str, float]]:
+    projection = GrowthProjection(fleet_servers=500, viewers_per_stream=30.0)
+    study = InteractivityStudy(seed=31, samples_per_tier=1500)
+    rows: dict[str, dict[str, float]] = {}
+    for point in projection.sweep(STREAM_GROWTH):
+        feedback = study.evaluate_tier("hls", point.projected_hls_delay_s)
+        rows[f"{point.concurrent_streams}"] = {
+            "chunk_s": point.chunk_duration_s,
+            "hls_delay_s": round(point.projected_hls_delay_s, 2),
+            "utilization": round(point.fleet_utilization, 2),
+            "misattribution": round(feedback.misattribution_rate, 3),
+            "poll_participation": round(feedback.poll_participation, 3),
+        }
+    return rows
+
+
+def test_growth_vs_interactivity(run_once):
+    rows = run_once(_project_and_score)
+    print("\n" + format_table(
+        rows,
+        title="Ablation — broadcast volume vs delay vs interactivity",
+        row_header="streams",
+    ))
+    delays = [rows[str(c)]["hls_delay_s"] for c in STREAM_GROWTH]
+    misattribution = [rows[str(c)]["misattribution"] for c in STREAM_GROWTH]
+    participation = [rows[str(c)]["poll_participation"] for c in STREAM_GROWTH]
+    # Volume drives delay (the abstract's "strong link")...
+    assert delays == sorted(delays)
+    assert delays[-1] > 2 * delays[0]
+    # ...and delay destroys interactivity (§1's motivation).
+    assert misattribution == sorted(misattribution)
+    assert participation == sorted(participation, reverse=True)
+    assert participation[0] > 0.8
+    assert participation[-1] < 0.6

@@ -1,0 +1,33 @@
+"""Ablation: overlay multicast vs RTMP vs HLS (§8's proposal).
+
+The paper argues a hierarchy of geographically clustered forwarding
+servers would deliver interactive latency without per-viewer origin state
+or polling.  This benchmark runs all three architectures on the same
+broadcast and audience and checks the claimed dominance pattern.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.overlay.comparison import compare_architectures
+
+
+def test_overlay_vs_production_tiers(run_once):
+    results = run_once(compare_architectures, n_viewers=120, duration_s=15.0, seed=8)
+    rows = {name: result.as_row() for name, result in results.items()}
+    print("\n" + format_table(rows, title="Ablation — delivery architectures",
+                              row_header="architecture"))
+    rtmp, hls, overlay = results["rtmp"], results["hls"], results["overlay"]
+
+    # HLS trades an order of magnitude of delay for origin relief.
+    assert hls.mean_delay_s > 5 * rtmp.mean_delay_s
+    assert hls.origin_egress_copies < rtmp.origin_egress_copies
+
+    # The overlay keeps RTMP-class latency...
+    assert overlay.mean_delay_s < 2.5 * rtmp.mean_delay_s
+    assert overlay.mean_delay_s < hls.mean_delay_s / 4
+    # ...with the least origin load of all three...
+    assert overlay.origin_egress_copies <= hls.origin_egress_copies
+    assert overlay.origin_state < rtmp.origin_state / 10
+    # ...and bounded fan-out everywhere (no server holds the full audience).
+    assert overlay.max_server_state < rtmp.max_server_state

@@ -1,0 +1,35 @@
+"""Ablation: event-level server queueing vs offered load.
+
+Complements the analytic growth projection: as concurrent streams push a
+POP toward capacity, polling delay transitions from negligible to
+unbounded — the dynamic mechanism behind the abstract's volume→latency
+link, and the pressure that forces operators toward larger chunks.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.cdn.queueing import load_sweep
+
+STREAM_COUNTS = [5, 15, 25, 30, 33, 36]
+
+
+def test_queueing_hockey_stick(run_once):
+    points = run_once(load_sweep, STREAM_COUNTS, duration_s=40.0)
+    rows = {
+        str(p.concurrent_streams): {
+            "offered_load": round(p.offered_load, 2),
+            "mean_poll_ms": round(p.mean_poll_delay_s * 1000, 1),
+            "p99_poll_ms": round(p.p99_poll_delay_s * 1000, 1),
+        }
+        for p in points
+    }
+    print("\n" + format_table(rows, title="Ablation — POP queueing vs load",
+                              row_header="streams"))
+    delays = [p.mean_poll_delay_s for p in points]
+    assert delays == sorted(delays)
+    # Below ~50% load queueing is negligible; past capacity it explodes.
+    below_half = [p for p in points if p.offered_load < 0.5]
+    overloaded = [p for p in points if p.offered_load > 1.0]
+    assert all(p.mean_poll_delay_s < 0.02 for p in below_half)
+    assert all(p.mean_poll_delay_s > 0.5 for p in overloaded)

@@ -1,0 +1,109 @@
+"""Benchmarks regenerating the CDN/delay figures (Figures 9–17)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+
+
+def test_fig9_server_locations(run_once):
+    """8 Wowza DCs, 23 Fastly POPs, 6/8 co-located, 7/8 same continent."""
+    result = run_once(repro.run_experiment, "fig9")
+    print("\n" + result.text)
+    assert result.data["colocated_count"] == 6
+    assert result.data["same_continent_count"] == 7
+
+
+def test_fig11_delay_breakdown(run_once):
+    """RTMP ~1.4 s vs HLS ~11.7 s, dominated by buffering/chunking/polling."""
+    result = run_once(repro.run_experiment, "fig11")
+    print("\n" + result.text)
+    assert 0.8 < result.data["rtmp_total_s"] < 2.2
+    assert 8.0 < result.data["hls_total_s"] < 15.0
+    assert 5 < result.data["hls_rtmp_ratio"] < 14
+    hls = result.data["hls"].components
+    assert hls["buffering"] > hls["chunking"] > hls["wowza2fastly"]
+
+
+def test_fig12_polling_delay_means(run_once):
+    """Mean polling delay ~interval/2 at 2 s/4 s; 3 s resonance spreads."""
+    result = run_once(repro.run_experiment, "fig12")
+    print("\n" + result.text)
+    means = result.data["mean_of_means"]
+    assert means[2.0] == pytest.approx(1.0, abs=0.2)
+    assert means[4.0] == pytest.approx(2.0, abs=0.3)
+    assert result.data["spread_3s"] > 0.3
+
+
+def test_fig13_polling_delay_variance(run_once):
+    """Within-broadcast delay std tracks interval/sqrt(12) off resonance."""
+    result = run_once(repro.run_experiment, "fig13")
+    print("\n" + result.text)
+    medians = result.data["median_std"]
+    assert medians[2.0] == pytest.approx(0.577, abs=0.15)
+    assert medians[4.0] == pytest.approx(1.155, abs=0.25)
+    assert medians[3.0] < medians[4.0]
+
+
+def test_fig14_server_cpu(run_once):
+    """RTMP CPU far exceeds HLS and the gap widens with audience size."""
+    result = run_once(repro.run_experiment, "fig14")
+    print("\n" + result.text)
+    curves = result.data["curves"]
+    gaps = [
+        r.cpu_percent - h.cpu_percent
+        for r, h in zip(curves["rtmp"], curves["hls"])
+    ]
+    assert all(g > 0 for g in gaps)
+    assert gaps[-1] > gaps[0]
+    assert curves["rtmp"][-1].cpu_percent > 80
+
+
+def test_fig15_wowza2fastly_geolocation(run_once):
+    """Transfer delay grows with DC distance; >0.25 s co-location gap."""
+    result = run_once(repro.run_experiment, "fig15")
+    print("\n" + result.text)
+    assert result.data["colocation_gap_s"] > 0.2
+    medians = result.data["medians"]
+    ordered = [medians[b] for b in medians]
+    assert ordered == sorted(ordered)  # monotone in distance bucket
+
+
+def test_fig16_rtmp_prebuffer(run_once):
+    """RTMP is already smooth; a bursty-upload delay tail exists."""
+    result = run_once(repro.run_experiment, "fig16")
+    print("\n" + result.text)
+    assert result.data["median_stall"][1.0] < 0.05
+    delays = result.data["sweep"][1.0]["buffering_delay"]
+    assert float(np.median(delays)) == pytest.approx(1.0, abs=0.5)
+    assert float(np.max(delays)) > 2.0  # the bursty tail
+
+
+def test_fig17_hls_prebuffer(run_once):
+    """P=6 s matches P=9 s stalling at roughly half the buffering delay."""
+    result = run_once(repro.run_experiment, "fig17")
+    print("\n" + result.text)
+    assert abs(result.data["median_stall_6s"] - result.data["median_stall_9s"]) < 0.02
+    assert result.data["delay_saving_s"] > 2.0
+    assert result.data["median_delay_6s"] < 0.65 * result.data["median_delay_9s"]
+
+
+def test_fig8_architecture(run_once):
+    """Three channels: fast HTTPS messages, push video tier, poll video tier."""
+    result = run_once(repro.run_experiment, "fig8")
+    print("\n" + result.text)
+    assert result.data["facts"]["video ingest protocol"] == "rtmp"
+    assert result.data["message_latency_s"] < 0.5  # messages beat HLS video by ~50x
+
+
+def test_fig10_timestamp_diagram(run_once):
+    """The numbered-timestamp journey: RTMP ~1.4 s vs HLS ~11 s."""
+    result = run_once(repro.run_experiment, "fig10")
+    print("\n" + result.text)
+    assert 0.8 < result.data["rtmp_total_s"] < 2.2
+    assert 7.0 < result.data["hls_total_s"] < 15.0
+    hls = result.data["timeline"]["hls"]
+    chunking = hls["7_chunk_ready"] - hls["6_wowza_arrival"]
+    assert 2.5 < chunking < 3.5

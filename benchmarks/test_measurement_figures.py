@@ -1,0 +1,72 @@
+"""Benchmarks regenerating the §3 measurement figures (Figures 1–7)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+def test_fig1_daily_broadcasts(run_once):
+    """Periscope >3x growth with weekend peaks; Meerkat halves."""
+    result = run_once(repro.run_experiment, "fig1")
+    print("\n" + result.text)
+    assert result.data["periscope_growth"] > 3.0
+    assert result.data["meerkat_growth"] < 0.8
+    assert result.data["periscope_weekend_ratio"] > 1.0
+
+
+def test_fig2_daily_active_users(run_once):
+    """Viewers grow strongly; ~10:1 viewer:broadcaster ratio."""
+    result = run_once(repro.run_experiment, "fig2")
+    print("\n" + result.text)
+    assert result.data["periscope_viewer_growth"] > 1.5
+    assert 5 < result.data["median_viewer_broadcaster_ratio"] < 30
+    assert result.data["meerkat_broadcaster_decline"] < 1.0
+
+
+def test_fig3_broadcast_length_cdf(run_once):
+    """85% of broadcasts under 10 minutes; Meerkat more skewed."""
+    result = run_once(repro.run_experiment, "fig3")
+    print("\n" + result.text)
+    assert result.data["periscope_under_10min"] == pytest.approx(0.85, abs=0.04)
+    assert result.data["meerkat_under_10min"] > 0.75
+    # Skew: Meerkat's p99/median ratio exceeds Periscope's.
+    p = result.data["periscope_cdf"]
+    m = result.data["meerkat_cdf"]
+    assert m.quantile(0.99) / m.median > p.quantile(0.99) / p.median
+
+
+def test_fig4_viewers_per_broadcast_cdf(run_once):
+    """Meerkat ~60% zero-viewer; Periscope nearly all viewed."""
+    result = run_once(repro.run_experiment, "fig4")
+    print("\n" + result.text)
+    assert result.data["meerkat_zero_viewer_fraction"] == pytest.approx(0.60, abs=0.06)
+    assert result.data["periscope_zero_viewer_fraction"] < 0.03
+    assert result.data["periscope_some_hls_fraction"] == pytest.approx(0.0577, abs=0.03)
+
+
+def test_fig5_engagement_cdf(run_once):
+    """~10% of broadcasts exceed 100 comments / 1000 hearts; hearts
+    unbounded while the comment cap flattens that tail."""
+    result = run_once(repro.run_experiment, "fig5")
+    print("\n" + result.text)
+    assert result.data["periscope_over_1000_hearts"] == pytest.approx(0.10, abs=0.05)
+    assert result.data["periscope_over_100_comments"] == pytest.approx(0.10, abs=0.05)
+    assert result.data["hearts_comment_tail_ratio"] > 5
+
+
+def test_fig6_per_user_activity(run_once):
+    """Top 15% of viewers watch ~10x the median viewer."""
+    result = run_once(repro.run_experiment, "fig6")
+    print("\n" + result.text)
+    assert 5 < result.data["periscope_top15_vs_median"] < 25
+
+
+def test_fig7_followers_vs_viewers(run_once):
+    """More followers -> more viewers (notification-driven audiences)."""
+    result = run_once(repro.run_experiment, "fig7")
+    print("\n" + result.text)
+    assert result.data["rank_correlation"] > 0.1
+    buckets = list(result.data["mean_viewers_by_bucket"].values())
+    assert buckets[-1] > 1.5 * buckets[0]

@@ -1,0 +1,20 @@
+"""Benchmark regenerating the §7 security result (Figure 18)."""
+
+from __future__ import annotations
+
+import repro
+
+
+def test_fig18_tampering_attack(run_once):
+    """The MITM blacks out the viewer but not the broadcaster; the
+    signature defense detects and drops every tampered frame."""
+    result = run_once(repro.run_experiment, "fig18")
+    print("\n" + result.text)
+    rows = result.data["rows"]
+    assert rows["attack"]["attack_succeeded"]
+    assert rows["attack"]["viewer_black"] > 0
+    assert rows["attack"]["broadcaster_black"] == 0
+    assert rows["attack"]["token_leaked"]
+    assert not rows["attack_with_defense"]["attack_succeeded"]
+    assert rows["attack_with_defense"]["detected"] == rows["attack_with_defense"]["tampered"]
+    assert rows["no_attack"]["tampered"] == 0

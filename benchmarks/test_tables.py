@@ -1,0 +1,30 @@
+"""Benchmarks regenerating Table 1 and Table 2."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+def test_table1_dataset_statistics(run_once):
+    """Table 1: Periscope dwarfs Meerkat on every count."""
+    result = run_once(repro.run_experiment, "table1")
+    print("\n" + result.text)
+    periscope = result.data["rescaled"]["Periscope"]
+    meerkat = result.data["rescaled"]["Meerkat"]
+    assert periscope["broadcasts"] == pytest.approx(19.6e6, rel=0.2)
+    assert periscope["total_views"] == pytest.approx(705e6, rel=0.25)
+    assert meerkat["broadcasts"] == pytest.approx(164e3, rel=0.3)
+    assert periscope["broadcasts"] > 50 * meerkat["broadcasts"]
+
+
+def test_table2_social_graph_statistics(run_once):
+    """Table 2: the follow graph is Twitter-like, not Facebook-like."""
+    result = run_once(repro.run_experiment, "table2")
+    print("\n" + result.text)
+    generated = result.data["rows"]["Periscope (generated)"]
+    assert generated["assortativity"] < 0.05  # negative-ish, like Twitter
+    assert 0.02 < generated["clustering_coef"] < 0.4
+    assert generated["avg_path"] < 6.0
+    assert generated["avg_degree"] == pytest.approx(38.6, rel=0.4)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Scenario: the §8 proposal — overlay multicast delivery.
+
+The paper closes by sketching a way out of the scalability/latency
+tension: a hierarchy of geographically clustered forwarding servers.
+Viewers join by setting up a reverse forwarding path; frames are then
+pushed down the tree with no per-viewer state at the origin and no
+polling anywhere.
+
+This example runs the same broadcast and audience through Periscope's two
+production tiers and through the proposed overlay, and prints the
+three-way comparison: the overlay should deliver RTMP-class latency at
+HLS-class (or better) server cost.
+
+Run:  python examples/overlay_multicast.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.overlay.comparison import compare_architectures
+from repro.overlay.tree import build_geographic_tree
+from repro.geo.datacenters import WOWZA_DATACENTERS
+
+N_VIEWERS = 150
+
+
+def show_tree() -> None:
+    root_dc = WOWZA_DATACENTERS[1]  # San Jose
+    tree = build_geographic_tree(root_dc)
+    print(f"forwarding hierarchy rooted at {root_dc.city}:")
+    for hub in tree.root.children:
+        leaves = ", ".join(leaf.datacenter.city for leaf in hub.children) or "(hub is leaf)"
+        print(f"  {hub.datacenter.continent:<13} hub {hub.datacenter.city:<10} -> {leaves}")
+    print()
+
+
+def main() -> None:
+    show_tree()
+    print(f"streaming 20 s to {N_VIEWERS} viewers sampled from world metros...\n")
+    results = compare_architectures(n_viewers=N_VIEWERS, duration_s=20.0, seed=8)
+    rows = {name: result.as_row() for name, result in results.items()}
+    print(format_table(rows, title="delivery architectures compared",
+                       row_header="architecture"))
+
+    rtmp, hls, overlay = results["rtmp"], results["hls"], results["overlay"]
+    print()
+    print(f"- RTMP is fast ({rtmp.mean_delay_s:.2f}s) but the origin holds "
+          f"{rtmp.origin_state} connections and sends {rtmp.origin_egress_copies} "
+          "copies of every frame — the Figure 14 CPU wall.")
+    print(f"- HLS caps origin work at {hls.origin_egress_copies} POP pulls but costs "
+          f"{hls.mean_delay_s:.1f}s of chunking+polling delay before buffering.")
+    print(f"- The overlay pushes {overlay.origin_egress_copies} copies (one per "
+          f"continent hub), worst per-server fan-out {overlay.max_server_state}, at "
+          f"{overlay.mean_delay_s:.2f}s delay — interactivity at scale, as §8 argues.")
+
+
+if __name__ == "__main__":
+    main()

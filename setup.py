@@ -1,0 +1,14 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build an editable wheel.  This shim
+enables the legacy path::
+
+    python setup.py develop --no-deps
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

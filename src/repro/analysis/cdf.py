@@ -1,0 +1,69 @@
+"""Empirical CDFs — the paper's dominant presentation format."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Cdf:
+    """An empirical cumulative distribution over a sample."""
+
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        array = np.asarray(self.values, dtype=float)
+        if array.ndim != 1:
+            raise ValueError("CDF needs a 1-D sample")
+        if len(array) == 0:
+            raise ValueError("CDF needs a non-empty sample")
+        self.values = np.sort(array)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def at(self, x: float) -> float:
+        """P(X <= x)."""
+        return float(np.searchsorted(self.values, x, side="right")) / len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be within [0, 1], got {q}")
+        return float(np.quantile(self.values, q))
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    def fraction_above(self, x: float) -> float:
+        """P(X > x)."""
+        return 1.0 - self.at(x)
+
+    def points(self, max_points: int = 200) -> list[tuple[float, float]]:
+        """(x, F(x)) pairs, thinned for plotting/reporting."""
+        n = len(self.values)
+        if n <= max_points:
+            indices = np.arange(n)
+        else:
+            indices = np.linspace(0, n - 1, max_points).astype(int)
+        return [(float(self.values[i]), (int(i) + 1) / n) for i in indices]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "min": float(self.values[0]),
+            "p10": self.quantile(0.10),
+            "p25": self.quantile(0.25),
+            "median": self.median,
+            "p75": self.quantile(0.75),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "max": float(self.values[-1]),
+            "mean": self.mean,
+        }

@@ -1,0 +1,100 @@
+"""CSV export of experiment data.
+
+The text reports and ASCII plots serve the terminal; these helpers export
+the same series as CSV so downstream users can re-plot the figures with
+their own tooling (matplotlib, gnuplot, a spreadsheet).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.cdf import Cdf
+
+PathLike = Union[str, Path]
+
+
+def export_cdf_csv(
+    cdfs: Mapping[str, Cdf],
+    path: PathLike,
+    max_points: int = 500,
+) -> int:
+    """Write CDF curves as long-format CSV: series,x,cdf.
+
+    Returns the number of data rows written.
+    """
+    if not cdfs:
+        raise ValueError("no CDFs to export")
+    rows = 0
+    with open(Path(path), "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "x", "cdf"])
+        for name, cdf in cdfs.items():
+            for x, y in cdf.points(max_points=max_points):
+                writer.writerow([name, f"{x:.6g}", f"{y:.6g}"])
+                rows += 1
+    return rows
+
+
+def export_series_csv(
+    series: Mapping[str, Sequence[float]],
+    path: PathLike,
+    index_name: str = "day",
+) -> int:
+    """Write time series as wide-format CSV: index, one column per series.
+
+    Shorter series leave trailing cells empty.  Returns data rows written.
+    """
+    if not series:
+        raise ValueError("no series to export")
+    length = max(len(values) for values in series.values())
+    if length == 0:
+        raise ValueError("empty series")
+    names = list(series)
+    with open(Path(path), "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([index_name] + names)
+        for index in range(length):
+            row: list[object] = [index]
+            for name in names:
+                values = series[name]
+                row.append(f"{values[index]:.6g}" if index < len(values) else "")
+            writer.writerow(row)
+    return length
+
+
+def export_table_csv(
+    rows: Mapping[str, Mapping[str, object]],
+    path: PathLike,
+    row_header: str = "row",
+) -> int:
+    """Write a {row: {column: value}} table as CSV; returns rows written."""
+    if not rows:
+        raise ValueError("no rows to export")
+    columns: list[str] = []
+    for row in rows.values():
+        for column in row:
+            if column not in columns:
+                columns.append(column)
+    with open(Path(path), "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([row_header] + columns)
+        for name, row in rows.items():
+            writer.writerow([name] + [row.get(column, "") for column in columns])
+    return len(rows)
+
+
+def load_csv_columns(path: PathLike) -> dict[str, np.ndarray]:
+    """Read a wide-format CSV back into float arrays (NaN for blanks)."""
+    with open(Path(path), newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        columns: dict[str, list[float]] = {name: [] for name in header}
+        for row in reader:
+            for name, cell in zip(header, row):
+                columns[name].append(float(cell) if cell != "" else float("nan"))
+    return {name: np.array(values) for name, values in columns.items()}

@@ -1,0 +1,211 @@
+"""ASCII plotting: render the paper's figures as terminal graphics.
+
+Three chart types cover every figure in the paper:
+
+* :func:`ascii_cdf` — multi-series CDF curves (Figures 3–6, 12–13, 15–17),
+* :func:`ascii_series` — daily time series (Figures 1–2),
+* :func:`ascii_stacked_bars` — the delay-breakdown bars (Figure 11).
+
+Rendering is deterministic and dependency-free; each series gets a
+distinct glyph with a legend underneath.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.cdf import Cdf
+
+#: Series glyphs, assigned in order.
+GLYPHS = "*o+x#@%&"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1_000_000:
+        return f"{value / 1e6:.3g}M"
+    if abs(value) >= 1_000:
+        return f"{value / 1e3:.3g}k"
+    if abs(value) < 0.01:
+        return f"{value:.1e}"
+    return f"{value:.3g}"
+
+
+def _blank_canvas(width: int, height: int) -> list[list[str]]:
+    return [[" "] * width for _ in range(height)]
+
+
+def _render_canvas(
+    canvas: list[list[str]],
+    x_min: float,
+    x_max: float,
+    y_min: float,
+    y_max: float,
+    title: str,
+    x_label: str,
+    y_label: str,
+    legend: Mapping[str, str],
+    x_mid: float | None = None,
+) -> str:
+    height = len(canvas)
+    width = len(canvas[0])
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(canvas):
+        y_value = y_max - (y_max - y_min) * row_index / max(height - 1, 1)
+        prefix = f"{_format_tick(y_value):>8} |" if row_index % 2 == 0 else " " * 8 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    left = _format_tick(x_min)
+    right = _format_tick(x_max)
+    middle = _format_tick((x_min + x_max) / 2 if x_mid is None else x_mid)
+    axis = " " * 10 + left
+    pad = width - len(left) - len(right) - len(middle)
+    axis += " " * max(1, pad // 2) + middle + " " * max(1, pad - pad // 2) + right
+    lines.append(axis)
+    label_line = f"{'':>10}{x_label}"
+    if y_label:
+        label_line += f"   (y: {y_label})"
+    lines.append(label_line)
+    if legend:
+        lines.append(
+            " " * 10 + "legend: " + "  ".join(f"{g}={name}" for name, g in legend.items())
+        )
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    cdfs: Mapping[str, Cdf],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    x_max: float | None = None,
+    log_x: bool = False,
+) -> str:
+    """Render CDF curves, optionally with a log-scaled x axis."""
+    if not cdfs:
+        raise ValueError("no CDFs to plot")
+    if width < 10 or height < 4:
+        raise ValueError("canvas too small")
+    all_max = max(float(cdf.values[-1]) for cdf in cdfs.values())
+    hi = x_max if x_max is not None else all_max
+    if log_x:
+        lo = max(min(float(cdf.values[0]) for cdf in cdfs.values()), 1e-9)
+        lo = max(lo, hi / 1e7)
+    else:
+        lo = 0.0
+    if hi <= lo:
+        hi = lo + 1.0
+
+    canvas = _blank_canvas(width, height)
+    legend: dict[str, str] = {}
+    for series_index, (name, cdf) in enumerate(cdfs.items()):
+        glyph = GLYPHS[series_index % len(GLYPHS)]
+        legend[name] = glyph
+        for column in range(width):
+            if log_x:
+                x = lo * (hi / lo) ** (column / (width - 1))
+            else:
+                x = lo + (hi - lo) * column / (width - 1)
+            y = cdf.at(x)
+            row = int(round((1.0 - y) * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            if canvas[row][column] == " ":
+                canvas[row][column] = glyph
+    x_label = "x (log scale)" if log_x else "x"
+    x_mid = float(np.sqrt(lo * hi)) if log_x else None
+    return _render_canvas(
+        canvas, lo, hi, 0.0, 1.0, title, x_label, "CDF", legend, x_mid=x_mid
+    )
+
+
+def ascii_series(
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    width: int = 64,
+    height: int = 14,
+    normalize: bool = False,
+) -> str:
+    """Render time series; ``normalize`` scales each to its own maximum
+    (the paper's Figure 1 uses twin axes for Periscope vs Meerkat)."""
+    if not series:
+        raise ValueError("no series to plot")
+    arrays = {name: np.asarray(values, dtype=float) for name, values in series.items()}
+    if any(len(a) == 0 for a in arrays.values()):
+        raise ValueError("empty series")
+    if normalize:
+        arrays = {
+            name: a / a.max() if a.max() > 0 else a for name, a in arrays.items()
+        }
+    y_max = max(float(a.max()) for a in arrays.values())
+    y_min = 0.0
+    length = max(len(a) for a in arrays.values())
+
+    canvas = _blank_canvas(width, height)
+    legend: dict[str, str] = {}
+    for series_index, (name, values) in enumerate(arrays.items()):
+        glyph = GLYPHS[series_index % len(GLYPHS)]
+        legend[name] = glyph
+        for column in range(width):
+            position = column / (width - 1) * (len(values) - 1)
+            value = float(np.interp(position, np.arange(len(values)), values))
+            if y_max == y_min:
+                row = height - 1
+            else:
+                row = int(round((1.0 - (value - y_min) / (y_max - y_min)) * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            if canvas[row][column] == " ":
+                canvas[row][column] = glyph
+    y_label = "relative" if normalize else "value"
+    return _render_canvas(
+        canvas, 0, length - 1, y_min, y_max, title, "day", y_label, legend
+    )
+
+
+def ascii_stacked_bars(
+    bars: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 56,
+) -> str:
+    """Render horizontal stacked bars (Figure 11's delay breakdown).
+
+    ``bars`` maps a bar name to ordered {component: value}; each component
+    gets a distinct glyph, shared across bars.
+    """
+    if not bars:
+        raise ValueError("no bars to plot")
+    components: list[str] = []
+    for parts in bars.values():
+        for component in parts:
+            if component not in components:
+                components.append(component)
+    glyph_of = {
+        component: GLYPHS[i % len(GLYPHS)] for i, component in enumerate(components)
+    }
+    total_max = max(sum(parts.values()) for parts in bars.values())
+    if total_max <= 0:
+        raise ValueError("bars must have positive totals")
+
+    lines = []
+    if title:
+        lines.append(title)
+    name_width = max(len(name) for name in bars)
+    for name, parts in bars.items():
+        bar = ""
+        for component, value in parts.items():
+            cells = int(round(value / total_max * width))
+            bar += glyph_of[component] * cells
+        total = sum(parts.values())
+        lines.append(f"{name:>{name_width}} |{bar:<{width}}| {total:.2f}s")
+    scale = " " * (name_width + 2) + "0" + " " * (width - len(_format_tick(total_max)) - 1) + _format_tick(total_max)
+    lines.append(scale)
+    lines.append(
+        " " * (name_width + 2)
+        + "legend: "
+        + "  ".join(f"{glyph_of[c]}={c}" for c in components)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Plain-text rendering of tables, series and CDF summaries.
+
+Every experiment runner prints through these helpers, so the benchmark
+output visually matches the paper's tables/figures row-for-row.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.cdf import Cdf
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1_000_000:
+            return f"{value / 1_000_000:.2f}M"
+        if abs(value) >= 10_000:
+            return f"{value / 1_000:.1f}K"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, (int, np.integer)):
+        if abs(int(value)) >= 1_000_000:
+            return f"{int(value) / 1_000_000:.2f}M"
+        if abs(int(value)) >= 10_000:
+            return f"{int(value) / 1_000:.1f}K"
+        return str(int(value))
+    return str(value)
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, object]],
+    title: str = "",
+    row_header: str = "",
+) -> str:
+    """Render ``{row_name: {column: value}}`` as an aligned text table."""
+    if not rows:
+        raise ValueError("no rows to render")
+    columns: list[str] = []
+    for row in rows.values():
+        for column in row:
+            if column not in columns:
+                columns.append(column)
+    header = [row_header] + columns
+    body = [
+        [name] + [_format_value(row.get(column, "")) for column in columns]
+        for name, row in rows.items()
+    ]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def render_cdf_summary(cdfs: Mapping[str, Cdf], title: str = "") -> str:
+    """Percentile summary table for a set of named CDFs."""
+    rows = {name: cdf.summary() for name, cdf in cdfs.items()}
+    return format_table(rows, title=title, row_header="series")
+
+
+def render_series(
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    max_points: int = 14,
+) -> str:
+    """Render named numeric series side by side, thinned to max_points."""
+    if not series:
+        raise ValueError("no series to render")
+    length = max(len(values) for values in series.values())
+    if length == 0:
+        raise ValueError("empty series")
+    indices = (
+        list(range(length))
+        if length <= max_points
+        else [int(i) for i in np.linspace(0, length - 1, max_points)]
+    )
+    rows = {}
+    for index in indices:
+        row = {}
+        for name, values in series.items():
+            row[name] = values[index] if index < len(values) else ""
+        rows[f"[{index}]"] = row
+    return format_table(rows, title=title, row_header="idx")

@@ -1,0 +1,66 @@
+"""Daily time series for the growth figures (Figures 1–2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class DailySeries:
+    """A per-day series over the measurement window."""
+
+    values: np.ndarray
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.ndim != 1:
+            raise ValueError("need a 1-D daily series")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return float(self.values.sum())
+
+    def growth_factor(self, smoothing_days: int = 7) -> float:
+        """End-to-start ratio using smoothed endpoints (weekly averaging
+        removes the weekday effect the paper's Figure 1 shows)."""
+        if len(self.values) < 2 * smoothing_days:
+            raise ValueError("series too short for the requested smoothing")
+        start = float(np.mean(self.values[:smoothing_days]))
+        end = float(np.mean(self.values[-smoothing_days:]))
+        if start == 0:
+            raise ValueError("series starts at zero; growth undefined")
+        return end / start
+
+    def weekly_averages(self, first_weekday: int) -> np.ndarray:
+        """Mean value per weekday (Mon=0..Sun=6)."""
+        sums = np.zeros(7)
+        counts = np.zeros(7)
+        for day, value in enumerate(self.values):
+            weekday = (first_weekday + day) % 7
+            sums[weekday] += value
+            counts[weekday] += 1
+        with np.errstate(invalid="ignore"):
+            return np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+
+    def weekend_weekday_ratio(self, first_weekday: int) -> float:
+        """Weekend mean over Mon–Thu mean — >1 reproduces Figure 1's
+        weekend peaks."""
+        weekly = self.weekly_averages(first_weekday)
+        weekend = np.mean(weekly[5:7])
+        weekday = np.mean(weekly[0:4])
+        if weekday == 0:
+            raise ValueError("zero weekday activity")
+        return float(weekend / weekday)
+
+    def ratio_to(self, other: "DailySeries") -> np.ndarray:
+        """Elementwise ratio (e.g. viewers-to-broadcasters, ~10:1)."""
+        if len(self) != len(other):
+            raise ValueError("series lengths differ")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(other.values > 0, self.values / other.values, np.nan)

@@ -1,0 +1,24 @@
+"""The simulated video CDN.
+
+Reproduces Periscope's two-CDN architecture (§4.1, Figure 8): Wowza ingest
+datacenters receive broadcaster uploads over RTMP, push frames to the
+first ~100 viewers, and assemble frames into ~3 s chunks; Fastly edge POPs
+cache chunklists, pull fresh chunks from Wowza through a co-located
+gateway POP, and serve HLS viewers who poll every 2–2.8 s.
+"""
+
+from repro.cdn.assignment import CdnAssignment
+from repro.cdn.fastly import FastlyEdge
+from repro.cdn.server_load import LoadPoint, ServerLoadModel
+from repro.cdn.transfer import TransferModel
+from repro.cdn.wowza import IngestRecord, WowzaIngest
+
+__all__ = [
+    "CdnAssignment",
+    "WowzaIngest",
+    "IngestRecord",
+    "FastlyEdge",
+    "TransferModel",
+    "ServerLoadModel",
+    "LoadPoint",
+]

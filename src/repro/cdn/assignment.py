@@ -1,0 +1,55 @@
+"""Geolocation-based client-to-datacenter assignment.
+
+The paper's §5.3 findings, encoded as policy:
+
+* each broadcaster connects to the *nearest Wowza* datacenter (reducing
+  upload delay),
+* RTMP viewers always connect to the *broadcaster's* Wowza datacenter —
+  there is no inter-Wowza transfer,
+* each HLS viewer reaches the *nearest Fastly* POP via IP anycast
+  (minimizing last-mile delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.geo.coordinates import GeoPoint
+from repro.geo.datacenters import (
+    Datacenter,
+    FASTLY_DATACENTERS,
+    WOWZA_DATACENTERS,
+    nearest_datacenter,
+)
+
+
+@dataclass
+class CdnAssignment:
+    """Pure assignment policy over the datacenter catalogs."""
+
+    wowza_sites: Sequence[Datacenter] = field(default=WOWZA_DATACENTERS)
+    fastly_sites: Sequence[Datacenter] = field(default=FASTLY_DATACENTERS)
+
+    def __post_init__(self) -> None:
+        if not self.wowza_sites or not self.fastly_sites:
+            raise ValueError("both catalogs must be non-empty")
+        for site in self.wowza_sites:
+            if site.operator != "wowza":
+                raise ValueError(f"{site.name} is not a Wowza site")
+        for site in self.fastly_sites:
+            if site.operator != "fastly":
+                raise ValueError(f"{site.name} is not a Fastly site")
+
+    def wowza_for_broadcaster(self, location: GeoPoint) -> Datacenter:
+        """Nearest ingest datacenter to the broadcaster."""
+        return nearest_datacenter(location, self.wowza_sites)
+
+    def wowza_for_rtmp_viewer(self, broadcaster_wowza: Datacenter) -> Datacenter:
+        """RTMP viewers connect to the broadcaster's ingest DC, wherever
+        they are — Wowza never transfers streams between its own DCs."""
+        return broadcaster_wowza
+
+    def fastly_for_viewer(self, location: GeoPoint) -> Datacenter:
+        """Anycast: the nearest edge POP."""
+        return nearest_datacenter(location, self.fastly_sites)

@@ -1,0 +1,159 @@
+"""The Fastly edge POP.
+
+Each :class:`FastlyEdge` caches per-broadcast chunklists.  The cache-fill
+protocol follows Figure 10(b): when Wowza completes a chunk it notifies the
+edge to *expire* its cached chunklist (⑧); the next viewer poll (⑨) after
+expiry triggers an origin pull (⑩) through the gateway path; the fresh
+chunk arrives (⑪) and serves that poller and everyone after (⑭).
+
+The edge records the availability timestamp ⑪ of every chunk — the series
+the paper's high-frequency crawler measured and that drives the polling
+(Figures 12–13) and Wowza2Fastly (Figure 15) analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.cdn.transfer import TransferModel
+from repro.cdn.wowza import WowzaIngest
+from repro.geo.datacenters import Datacenter
+from repro.protocols.hls import Chunklist
+from repro.simulation.engine import Simulator
+
+#: Poll response callback: (chunklist snapshot, response time).
+PollCallback = Callable[[Chunklist, float], None]
+
+
+@dataclass
+class _EdgeBroadcastState:
+    origin: WowzaIngest
+    local_list: Chunklist = field(default_factory=Chunklist)
+    known_origin_version: int = 0  # latest version the expiry channel announced
+    fetch_in_flight: bool = False
+    waiting_polls: list[PollCallback] = field(default_factory=list)
+    availability: dict[int, float] = field(default_factory=dict)  # chunk -> ⑪
+    poll_count: int = 0
+    origin_pulls: int = 0
+
+    @property
+    def is_stale(self) -> bool:
+        return self.local_list.version < self.known_origin_version
+
+
+class FastlyEdge:
+    """One edge POP serving HLS viewers."""
+
+    def __init__(
+        self,
+        datacenter: Datacenter,
+        simulator: Simulator,
+        transfer_model: TransferModel,
+        rng: np.random.Generator,
+    ) -> None:
+        self.datacenter = datacenter
+        self.simulator = simulator
+        self.transfer_model = transfer_model
+        self.rng = rng
+        self._broadcasts: dict[int, _EdgeBroadcastState] = {}
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach_broadcast(self, broadcast_id: int, origin: WowzaIngest) -> None:
+        """Start serving a broadcast from ``origin``; subscribes to expiry
+        notifications (the ⑧ channel)."""
+        if broadcast_id in self._broadcasts:
+            raise ValueError(f"broadcast {broadcast_id} already attached")
+        state = _EdgeBroadcastState(origin=origin)
+        self._broadcasts[broadcast_id] = state
+        origin.add_expiry_listener(broadcast_id, self._on_expiry)
+
+    def _on_expiry(self, broadcast_id: int, origin_version: int, _time: float) -> None:
+        state = self._state(broadcast_id)
+        state.known_origin_version = max(state.known_origin_version, origin_version)
+
+    # -- the poll path -----------------------------------------------------
+
+    def poll(self, broadcast_id: int, callback: PollCallback) -> None:
+        """An HLS viewer polls the chunklist (Figure 10 ⑨/⑭).
+
+        Fresh cache: respond immediately.  Stale cache: the first poller
+        triggers an origin pull; this and subsequent pollers are answered
+        when the pull lands.
+        """
+        state = self._state(broadcast_id)
+        state.poll_count += 1
+        now = self.simulator.now
+        if not state.is_stale:
+            callback(state.local_list.copy(), now)
+            return
+        state.waiting_polls.append(callback)
+        if not state.fetch_in_flight:
+            self._start_origin_pull(broadcast_id, state)
+
+    def _start_origin_pull(self, broadcast_id: int, state: _EdgeBroadcastState) -> None:
+        state.fetch_in_flight = True
+        state.origin_pulls += 1
+        delay = self.transfer_model.transfer_delay_s(
+            state.origin.datacenter, self.datacenter, self.rng
+        )
+        self.simulator.schedule(
+            delay,
+            lambda: self._finish_origin_pull(broadcast_id),
+            label=f"fastly-pull:{self.datacenter.name}:{broadcast_id}",
+        )
+
+    def _finish_origin_pull(self, broadcast_id: int) -> None:
+        state = self._state(broadcast_id)
+        now = self.simulator.now
+        fresh = state.origin.chunklist_snapshot(broadcast_id)
+        previous_latest = state.local_list.latest_index
+        for entry in fresh.entries_after(previous_latest):
+            state.availability.setdefault(entry.chunk_index, now)
+        state.local_list = fresh
+        state.known_origin_version = max(state.known_origin_version, fresh.version)
+        state.fetch_in_flight = False
+        waiters, state.waiting_polls = state.waiting_polls, []
+        for callback in waiters:
+            callback(state.local_list.copy(), now)
+        # The origin may have produced another chunk while the pull was in
+        # flight; the next poll will notice the stale version and re-pull.
+
+    # -- measurements -------------------------------------------------------
+
+    def availability_times(self, broadcast_id: int) -> list[float]:
+        """Chunk availability times ⑪ in chunk order."""
+        availability = self._state(broadcast_id).availability
+        return [availability[index] for index in sorted(availability)]
+
+    def availability_map(self, broadcast_id: int) -> dict[int, float]:
+        return dict(self._state(broadcast_id).availability)
+
+    def poll_count(self, broadcast_id: int) -> int:
+        return self._state(broadcast_id).poll_count
+
+    def origin_pulls(self, broadcast_id: int) -> int:
+        return self._state(broadcast_id).origin_pulls
+
+    def render_playlist(self, broadcast_id: int) -> str:
+        """The current local chunklist as M3U8 wire text — what a real
+        crawler (or player) would fetch from this POP."""
+        from repro.protocols.m3u8 import render_chunklist
+
+        state = self._state(broadcast_id)
+        return render_chunklist(state.local_list, broadcast_id)
+
+    def chunk_payload(self, broadcast_id: int, index: int):
+        """Fetch chunk bytes from the local cache (origin on miss)."""
+        state = self._state(broadcast_id)
+        if index not in state.availability:
+            raise KeyError(f"chunk {index} not cached at {self.datacenter.name}")
+        return state.origin.get_chunk(broadcast_id, index)
+
+    def _state(self, broadcast_id: int) -> _EdgeBroadcastState:
+        if broadcast_id not in self._broadcasts:
+            raise KeyError(f"broadcast {broadcast_id} not attached to this POP")
+        return self._broadcasts[broadcast_id]

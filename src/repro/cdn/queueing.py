@@ -1,0 +1,149 @@
+"""Server queueing under load: the volume→latency link, event-level.
+
+The analytic Figure 14 model prices server work per operation; this
+module adds the *dynamic* consequence: when offered load approaches a
+server's capacity, requests queue, and every queued millisecond lands
+directly in the viewer's polling delay.  Together with the growth
+projection (:mod:`repro.core.projection`) this gives the abstract's
+"strong link between volume of broadcasts and stream delivery latency"
+both an analytic and an event-level footing.
+
+The model is a FIFO single-server queue with deterministic service times
+per operation class (poll = chunklist lookup; chunk build = assembly +
+cache write), driven by the discrete-event engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simulation.engine import Simulator
+
+
+@dataclass
+class ServerQueue:
+    """A FIFO work queue with deterministic per-class service times."""
+
+    simulator: Simulator
+    #: Service time per poll request (chunklist lookup + response).
+    poll_service_s: float = 0.002
+    #: Service time per chunk assembly.
+    chunk_service_s: float = 0.02
+    _backlog_free_at: float = field(default=0.0, init=False)
+    requests_served: int = field(default=0, init=False)
+    busy_time_s: float = field(default=0.0, init=False)
+
+    def _serve(self, service_s: float) -> float:
+        now = self.simulator.now
+        start = max(now, self._backlog_free_at)
+        completion = start + service_s
+        self._backlog_free_at = completion
+        self.requests_served += 1
+        self.busy_time_s += service_s
+        return completion
+
+    def serve_poll(self) -> float:
+        """Admit one poll; returns its completion time."""
+        return self._serve(self.poll_service_s)
+
+    def serve_chunk_build(self) -> float:
+        """Admit one chunk assembly; returns its completion time."""
+        return self._serve(self.chunk_service_s)
+
+    def queueing_delay_now(self) -> float:
+        """How long a request arriving now would wait before service."""
+        return max(0.0, self._backlog_free_at - self.simulator.now)
+
+    def utilization(self, elapsed_s: float) -> float:
+        if elapsed_s <= 0:
+            raise ValueError("elapsed time must be positive")
+        return self.busy_time_s / elapsed_s
+
+
+@dataclass(frozen=True)
+class LoadPointMeasurement:
+    """Measured queueing behaviour at one offered load."""
+
+    concurrent_streams: int
+    offered_load: float  # fraction of capacity
+    mean_poll_delay_s: float
+    p99_poll_delay_s: float
+    utilization: float
+
+
+def simulate_pop_load(
+    concurrent_streams: int,
+    viewers_per_stream: int = 30,
+    poll_interval_s: float = 2.4,
+    chunk_duration_s: float = 3.0,
+    duration_s: float = 60.0,
+    seed: int = 77,
+    queue: ServerQueue | None = None,
+) -> LoadPointMeasurement:
+    """Drive one POP with the poll/chunk workload of many live streams.
+
+    Each stream contributes periodic chunk builds and its viewers' polls
+    (random phases).  Returns the measured extra delay polls suffered from
+    queueing — the quantity that grows without bound as load approaches 1.
+    """
+    if concurrent_streams <= 0:
+        raise ValueError("need at least one stream")
+    simulator = Simulator()
+    server = queue or ServerQueue(simulator)
+    rng = np.random.default_rng(seed)
+    poll_delays: list[float] = []
+
+    def schedule_stream(stream_index: int) -> None:
+        # Chunk builds on the chunk cadence.
+        phase = float(rng.uniform(0.0, chunk_duration_s))
+        t = phase
+        while t < duration_s:
+            simulator.schedule_at(t, server.serve_chunk_build)
+            t += chunk_duration_s
+        # Viewer polls, each with its own phase.
+        for _ in range(viewers_per_stream):
+            viewer_phase = float(rng.uniform(0.0, poll_interval_s))
+            t = viewer_phase
+            while t < duration_s:
+                simulator.schedule_at(t, _poll(server, poll_delays))
+                t += poll_interval_s
+
+    for stream_index in range(concurrent_streams):
+        schedule_stream(stream_index)
+    simulator.run()
+
+    per_stream_load = (
+        viewers_per_stream / poll_interval_s * server.poll_service_s
+        + server.chunk_service_s / chunk_duration_s
+    )
+    offered = concurrent_streams * per_stream_load
+    delays = np.asarray(poll_delays)
+    return LoadPointMeasurement(
+        concurrent_streams=concurrent_streams,
+        offered_load=offered,
+        mean_poll_delay_s=float(delays.mean()) if len(delays) else 0.0,
+        p99_poll_delay_s=float(np.percentile(delays, 99)) if len(delays) else 0.0,
+        utilization=server.utilization(duration_s),
+    )
+
+
+class _poll:
+    """Serve one poll and record its total (queue + service) delay."""
+
+    def __init__(self, server: ServerQueue, sink: list[float]) -> None:
+        self._server = server
+        self._sink = sink
+
+    def __call__(self) -> None:
+        arrived = self._server.simulator.now
+        completion = self._server.serve_poll()
+        self._sink.append(completion - arrived)
+
+
+def load_sweep(
+    stream_counts: list[int], **kwargs
+) -> list[LoadPointMeasurement]:
+    """Measure queueing delay across a load trajectory."""
+    return [simulate_pop_load(count, **kwargs) for count in stream_counts]

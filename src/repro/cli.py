@@ -1,0 +1,141 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro --list
+    python -m repro fig11
+    python -m repro table1 --scale 0.001 --seed 7
+    python -m repro --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.experiments.registry import get_experiment, list_experiments, run_experiment
+
+#: Experiments whose runners accept (scale, seed).
+_TRACE_EXPERIMENTS = {"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"}
+#: Experiments whose runners accept (n_broadcasts, seed).
+_CAMPAIGN_EXPERIMENTS = {"fig12", "fig13", "fig16", "fig17"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce tables/figures from 'Anatomy of a Personalized "
+            "Livestreaming System' (IMC 2016) on the simulated system."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment IDs to run (e.g. table1 fig11); see --list",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment IDs and exit")
+    parser.add_argument("--all", action="store_true", help="run every experiment in paper order")
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="trace scale for table1/table2/fig1-7 (default 0.0005)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="root random seed")
+    parser.add_argument(
+        "--broadcasts", type=int, default=None,
+        help="delay-crawl campaign size for fig12/13/16/17 (default 60)",
+    )
+    parser.add_argument(
+        "--expect", action="store_true",
+        help="also print each experiment's expected result from the paper",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="run the full reproduction scorecard (every paper claim) and exit",
+    )
+    parser.add_argument(
+        "--out", type=str, default=None, metavar="FILE",
+        help="also append all output to FILE",
+    )
+    return parser
+
+
+def _kwargs_for(experiment_id: str, args: argparse.Namespace) -> dict:
+    kwargs: dict = {}
+    if experiment_id in _TRACE_EXPERIMENTS:
+        if args.scale is not None:
+            kwargs["scale"] = args.scale
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+    elif experiment_id in _CAMPAIGN_EXPERIMENTS:
+        if args.broadcasts is not None:
+            kwargs["n_broadcasts"] = args.broadcasts
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+    elif experiment_id == "fig11" and args.seed is not None:
+        kwargs["seed"] = args.seed
+    elif experiment_id == "fig15" and args.seed is not None:
+        kwargs["seed"] = args.seed
+    return kwargs
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    sink = open(args.out, "a", encoding="utf-8") if args.out else None
+
+    def emit(text: str) -> None:
+        print(text)
+        if sink is not None:
+            sink.write(text + "\n")
+
+    if args.list:
+        for experiment_id in list_experiments():
+            registered = get_experiment(experiment_id)
+            emit(f"{experiment_id:<8} {registered.title}")
+        return 0
+
+    if args.validate:
+        from repro.validation import render_scorecard, validate
+
+        outcomes = validate()
+        emit(render_scorecard(outcomes))
+        if sink is not None:
+            sink.close()
+        return 0 if all(o.passed for o in outcomes) else 1
+
+    targets = list_experiments() if args.all else list(args.experiments)
+    if not targets:
+        parser.print_usage()
+        print("error: name at least one experiment, or use --all / --list", file=sys.stderr)
+        return 2
+
+    known = set(list_experiments())
+    unknown = [t for t in targets if t not in known]
+    if unknown:
+        print(f"error: unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(list_experiments())}", file=sys.stderr)
+        return 2
+
+    for index, experiment_id in enumerate(targets):
+        if index:
+            emit("")
+        registered = get_experiment(experiment_id)
+        if args.expect and registered.paper_expectation:
+            emit(f"[paper] {registered.paper_expectation}")
+        started = time.perf_counter()
+        result = run_experiment(experiment_id, **_kwargs_for(experiment_id, args))
+        elapsed = time.perf_counter() - started
+        emit(result.text)
+        emit(f"[{experiment_id} regenerated in {elapsed:.1f}s]")
+    if sink is not None:
+        sink.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Client-side components: broadcasters, viewers, links and playback.
+
+Models the endpoints of the paper's controlled experiments (§4.3): a
+broadcaster phone uploading 40 ms frames over a jittery (occasionally
+bursty) last-mile link, an RTMP viewer receiving pushed frames, and an HLS
+viewer polling chunklists and downloading chunks — each feeding a playback
+buffer whose pre-buffering policy §6 analyzes.
+"""
+
+from repro.client.network import LastMileLink, OutageSchedule
+from repro.client.broadcaster import BroadcasterClient
+from repro.client.viewer_client import HlsViewerClient, RtmpViewerClient
+
+__all__ = [
+    "LastMileLink",
+    "OutageSchedule",
+    "BroadcasterClient",
+    "RtmpViewerClient",
+    "HlsViewerClient",
+]

@@ -1,0 +1,157 @@
+"""Viewer clients: the RTMP push tier and the HLS poll tier.
+
+Both clients record per-unit arrival timestamps (③ for RTMP frames, ⑫/⑮
+for HLS chunks); playback itself is evaluated offline by
+:mod:`repro.core.playback` over these arrival traces, mirroring the
+paper's trace-driven methodology (§6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.cdn.fastly import FastlyEdge
+from repro.cdn.wowza import WowzaIngest
+from repro.client.network import LastMileLink
+from repro.protocols.frames import Chunk, VideoFrame
+from repro.protocols.hls import Chunklist
+from repro.simulation.engine import Simulator
+
+
+@dataclass
+class RtmpViewerClient:
+    """A viewer on the low-latency push tier.
+
+    Subscribes to the broadcaster's Wowza server; every ingested frame is
+    pushed immediately and crosses the viewer's last-mile link.
+    """
+
+    viewer_id: int
+    broadcast_id: int
+    simulator: Simulator
+    downlink: LastMileLink
+    frame_arrivals: dict[int, float] = field(default_factory=dict)
+    frame_captures: dict[int, float] = field(default_factory=dict)
+
+    def attach(self, wowza: WowzaIngest) -> None:
+        wowza.subscribe_rtmp(self.broadcast_id, self)
+
+    def push_frame(self, broadcast_id: int, frame: VideoFrame, pushed_at: float) -> None:
+        """RtmpSubscriber protocol: server pushed a frame at ``pushed_at``."""
+        if broadcast_id != self.broadcast_id:
+            raise ValueError(f"frame for wrong broadcast {broadcast_id}")
+        arrival = self.downlink.send(pushed_at)
+        self.simulator.schedule_at(
+            max(arrival, self.simulator.now),
+            _RecordFrame(self, frame),
+            label=f"rtmp-dl:{self.viewer_id}:{frame.sequence}",
+        )
+
+    def _record(self, frame: VideoFrame, time: float) -> None:
+        self.frame_arrivals[frame.sequence] = time
+        self.frame_captures[frame.sequence] = frame.capture_time
+
+    def arrival_trace(self) -> np.ndarray:
+        """Frame arrival times in sequence order."""
+        return np.array([self.frame_arrivals[s] for s in sorted(self.frame_arrivals)])
+
+    def end_to_end_delays(self) -> np.ndarray:
+        """Per-frame network delay ③ − ① (buffering excluded)."""
+        sequences = sorted(self.frame_arrivals)
+        return np.array(
+            [self.frame_arrivals[s] - self.frame_captures[s] for s in sequences]
+        )
+
+
+class _RecordFrame:
+    def __init__(self, client: RtmpViewerClient, frame: VideoFrame) -> None:
+        self._client = client
+        self._frame = frame
+
+    def __call__(self) -> None:
+        self._client._record(self._frame, self._client.simulator.now)
+
+
+@dataclass
+class HlsViewerClient:
+    """A viewer on the scalable poll tier.
+
+    Polls its edge POP's chunklist every ``poll_interval_s`` (Periscope:
+    uniform in 2–2.8 s), downloads chunks it has not seen, and records
+    their arrival times.
+    """
+
+    viewer_id: int
+    broadcast_id: int
+    simulator: Simulator
+    edge: FastlyEdge
+    downlink: LastMileLink
+    poll_interval_s: float = 2.4
+    chunk_kb: float = 300.0
+    stop_after: float = float("inf")
+    chunk_arrivals: dict[int, float] = field(default_factory=dict)
+    chunk_captures: dict[int, float] = field(default_factory=dict)  # ⑤ per chunk
+    chunk_response_times: dict[int, float] = field(default_factory=dict)  # ⑭ per chunk
+    poll_times: list[float] = field(default_factory=list)
+    _last_downloaded: Optional[int] = field(default=None, init=False)
+    _stopped: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll interval must be positive")
+
+    def start_polling(self, first_poll_at: float) -> None:
+        self.simulator.schedule_at(
+            max(first_poll_at, self.simulator.now), self._poll, label=f"hls-poll:{self.viewer_id}"
+        )
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _poll(self) -> None:
+        if self._stopped or self.simulator.now > self.stop_after:
+            return
+        self.poll_times.append(self.simulator.now)
+        self.edge.poll(self.broadcast_id, self._on_chunklist)
+        self.simulator.schedule(
+            self.poll_interval_s, self._poll, label=f"hls-poll:{self.viewer_id}"
+        )
+
+    def _on_chunklist(self, chunklist: Chunklist, response_time: float) -> None:
+        if self._stopped:
+            return
+        for entry in chunklist.entries_after(self._last_downloaded):
+            self._last_downloaded = entry.chunk_index
+            self.chunk_response_times[entry.chunk_index] = response_time
+            chunk = self.edge.chunk_payload(self.broadcast_id, entry.chunk_index)
+            arrival = self.downlink.send(response_time, size_kb=self.chunk_kb)
+            self.simulator.schedule_at(
+                max(arrival, self.simulator.now),
+                _RecordChunk(self, chunk),
+                label=f"hls-dl:{self.viewer_id}:{entry.chunk_index}",
+            )
+
+    def _record(self, chunk: Chunk, time: float) -> None:
+        self.chunk_arrivals[chunk.index] = time
+        self.chunk_captures[chunk.index] = chunk.first_capture_time
+
+    def arrival_trace(self) -> np.ndarray:
+        """Chunk arrival times in index order."""
+        return np.array([self.chunk_arrivals[i] for i in sorted(self.chunk_arrivals)])
+
+    def end_to_end_delays(self) -> np.ndarray:
+        """Per-chunk network delay ⑮ − ⑤ (buffering excluded)."""
+        indices = sorted(self.chunk_arrivals)
+        return np.array([self.chunk_arrivals[i] - self.chunk_captures[i] for i in indices])
+
+
+class _RecordChunk:
+    def __init__(self, client: HlsViewerClient, chunk: Chunk) -> None:
+        self._client = client
+        self._chunk = chunk
+
+    def __call__(self) -> None:
+        self._client._record(self._chunk, self._client.simulator.now)

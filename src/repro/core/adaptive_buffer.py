@@ -1,0 +1,153 @@
+"""Adaptive pre-buffer selection (§6's closing recommendation).
+
+The paper's buffering study ends with a policy sketch: "In cases when
+viewers have stable last-mile connection, e.g., good WiFi/LTE, smaller
+buffer size could be applied to reduce the buffering delay.  In other
+cases of bad connection, Periscope could always fall back to the default
+9s buffer to provide smooth playback."
+
+This module implements that policy and evaluates it with the same
+trace-driven methodology as Figures 16–17:
+
+* :class:`JitterProbe` estimates arrival stability from the first seconds
+  of a session (inter-arrival dispersion vs the nominal cadence),
+* :class:`AdaptiveBufferPolicy` maps the estimate to a pre-buffer,
+* :func:`evaluate_policies` replays broadcast traces under fixed and
+  adaptive policies and compares stalling vs delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.playback import PlaybackConfig, simulate_playback
+
+
+@dataclass(frozen=True)
+class JitterProbe:
+    """Estimates connection stability from early arrivals.
+
+    The score is the *worst* excess inter-arrival gap over the nominal
+    cadence within the first ``probe_s`` seconds — one serious stall in
+    the probe window is enough to mark the connection unstable (a
+    percentile would miss rare-but-ruinous stalls in a short window).
+    """
+
+    probe_s: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.probe_s <= 0:
+            raise ValueError("probe window must be positive")
+
+    def score(self, arrival_times: np.ndarray, unit_duration_s: float) -> float:
+        arrivals = np.asarray(arrival_times, dtype=float)
+        if len(arrivals) < 3:
+            return float("inf")  # not enough signal: assume the worst
+        window = arrivals[arrivals <= arrivals[0] + self.probe_s]
+        if len(window) < 3:
+            window = arrivals[:3]
+        gaps = np.diff(window)
+        excess = np.maximum(gaps - unit_duration_s, 0.0)
+        return float(excess.max())
+
+
+@dataclass(frozen=True)
+class AdaptiveBufferPolicy:
+    """Maps a jitter score to a pre-buffer size.
+
+    ``thresholds`` are (max-score-ratio, prebuffer) steps in increasing
+    order, where the ratio is relative to the unit cadence — for 3 s HLS
+    chunks a missed poll produces a ~1x-cadence excess gap and is normal,
+    while a multi-cadence gap signals a genuinely unstable path.  Scores
+    beyond the last step get ``fallback_prebuffer_s`` — the "always fall
+    back to the default 9 s" of the paper.
+    """
+
+    thresholds: tuple[tuple[float, float], ...] = ((0.5, 3.0), (1.6, 6.0))
+    fallback_prebuffer_s: float = 9.0
+    probe: JitterProbe = JitterProbe()
+
+    def __post_init__(self) -> None:
+        limits = [limit for limit, _ in self.thresholds]
+        if limits != sorted(limits):
+            raise ValueError("thresholds must be in increasing score order")
+
+    def choose_prebuffer(self, arrival_times: np.ndarray, unit_duration_s: float) -> float:
+        score = self.probe.score(arrival_times, unit_duration_s)
+        for limit, prebuffer in self.thresholds:
+            if score <= limit * unit_duration_s:
+                return prebuffer
+        return self.fallback_prebuffer_s
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """Aggregate playback quality for one policy over many broadcasts."""
+
+    policy: str
+    median_stall_ratio: float
+    p90_stall_ratio: float
+    median_delay_s: float
+    mean_delay_s: float
+    prebuffer_distribution: dict[float, int]
+
+
+def _evaluate(
+    name: str,
+    traces: list[np.ndarray],
+    prebuffer_for,
+    unit_duration_s: float,
+) -> PolicyOutcome:
+    stalls = []
+    delays = []
+    chosen: dict[float, int] = {}
+    for trace in traces:
+        if len(trace) == 0:
+            continue
+        prebuffer = prebuffer_for(trace)
+        chosen[prebuffer] = chosen.get(prebuffer, 0) + 1
+        outcome = simulate_playback(
+            trace, PlaybackConfig(prebuffer_s=prebuffer, unit_duration_s=unit_duration_s)
+        )
+        stalls.append(outcome.stall_ratio)
+        delays.append(outcome.mean_buffering_delay_s)
+    return PolicyOutcome(
+        policy=name,
+        median_stall_ratio=float(np.median(stalls)),
+        p90_stall_ratio=float(np.percentile(stalls, 90)),
+        median_delay_s=float(np.median(delays)),
+        mean_delay_s=float(np.mean(delays)),
+        prebuffer_distribution=dict(sorted(chosen.items())),
+    )
+
+
+def evaluate_policies(
+    traces: list[np.ndarray],
+    unit_duration_s: float,
+    fixed_prebuffers_s: tuple[float, ...] = (6.0, 9.0),
+    adaptive: AdaptiveBufferPolicy | None = None,
+) -> dict[str, PolicyOutcome]:
+    """Compare fixed pre-buffers against the adaptive policy.
+
+    Returns outcomes keyed ``"fixed-6s"``-style plus ``"adaptive"``.
+    """
+    if not traces:
+        raise ValueError("no traces to evaluate")
+    policy = adaptive or AdaptiveBufferPolicy()
+    outcomes: dict[str, PolicyOutcome] = {}
+    for prebuffer in fixed_prebuffers_s:
+        outcomes[f"fixed-{prebuffer:g}s"] = _evaluate(
+            f"fixed-{prebuffer:g}s",
+            traces,
+            lambda trace, p=prebuffer: p,
+            unit_duration_s,
+        )
+    outcomes["adaptive"] = _evaluate(
+        "adaptive",
+        traces,
+        lambda trace: policy.choose_prebuffer(trace, unit_duration_s),
+        unit_duration_s,
+    )
+    return outcomes

@@ -1,0 +1,198 @@
+"""The measurement-study pipeline facade.
+
+Ties the substrates together into the paper's workflow:
+
+1. **Passive delay crawling** (:class:`DelayMeasurementCampaign`): run many
+   simulated broadcasts through the CDN with the fine-grained crawler
+   attached, collecting per-broadcast frame-arrival traces (at Wowza) and
+   chunk-availability traces (at a Fastly POP).  The paper crawled 16,013
+   real broadcasts this way; the campaign size is configurable.
+2. **Trace-driven analyses**: polling simulation (Figures 12–13) and
+   playback/pre-buffer simulation (Figures 16–17) over those traces.
+3. **Controlled experiments** (Figure 11) via
+   :class:`~repro.core.delay_breakdown.ControlledExperiment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cdn.assignment import CdnAssignment
+from repro.cdn.fastly import FastlyEdge
+from repro.cdn.transfer import TransferModel
+from repro.cdn.wowza import WowzaIngest
+from repro.client.broadcaster import BroadcasterClient
+from repro.client.network import LastMileLink
+from repro.crawler.delay_crawler import DelayCrawler
+from repro.geo.regions import sample_user_location
+from repro.platform.apps import AppProfile, PERISCOPE_PROFILE
+from repro.simulation.engine import Simulator
+from repro.simulation.randomness import RandomStreams
+from repro.simulation.distributions import lognormal_from_median
+
+
+@dataclass(frozen=True)
+class BroadcastTrace:
+    """Fine-grained measurements of one crawled broadcast."""
+
+    broadcast_id: int
+    duration_s: float
+    frame_arrivals: np.ndarray  # at the ingest server (② series)
+    chunk_ready: np.ndarray  # at the ingest server (⑦ series)
+    chunk_availability: np.ndarray  # at the crawled POP (⑪ series)
+    chunk_duration_s: float
+    frame_interval_s: float
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self.chunk_availability)
+
+
+@dataclass
+class DelayMeasurementCampaign:
+    """Crawl ``n_broadcasts`` simulated broadcasts for delay traces."""
+
+    n_broadcasts: int = 50
+    seed: int = 2016
+    profile: AppProfile = field(default_factory=lambda: PERISCOPE_PROFILE)
+    duration_median_s: float = 180.0
+    duration_sigma: float = 0.5
+    min_duration_s: float = 60.0
+    max_duration_s: float = 600.0
+    #: Broadcaster uplinks are realistic mobile links with bursty outages;
+    #: §6 attributes the long RTMP buffering tail to them.
+    outage_rate_per_s: float = 1.0 / 140.0
+    outage_mean_s: float = 3.0
+    #: Per-broadcast chunk-duration mix (None = every broadcast uses the
+    #: profile's chunk size).  §5.2 observed >85.9% on 3 s with a spread of
+    #: other sizes; pass ``repro.core.chunk_stats.PERISCOPE_CHUNK_MIX`` to
+    #: reproduce that heterogeneity.
+    chunk_duration_mix: dict[float, float] | None = None
+    transfer_model: TransferModel = field(default_factory=TransferModel)
+    assignment: CdnAssignment = field(default_factory=CdnAssignment)
+
+    def run(self) -> list[BroadcastTrace]:
+        streams = RandomStreams(self.seed)
+        placement_rng = streams.get("placement")
+        duration_rng = streams.get("durations")
+        traces = []
+        for index in range(self.n_broadcasts):
+            duration = float(
+                np.clip(
+                    lognormal_from_median(
+                        duration_rng, self.duration_median_s, self.duration_sigma
+                    ),
+                    self.min_duration_s,
+                    self.max_duration_s,
+                )
+            )
+            traces.append(self._crawl_one(index, duration, streams, placement_rng))
+        return traces
+
+    def _crawl_one(
+        self,
+        index: int,
+        duration_s: float,
+        streams: RandomStreams,
+        placement_rng: np.random.Generator,
+    ) -> BroadcastTrace:
+        simulator = Simulator()
+        local = streams.spawn(f"broadcast/{index}")
+
+        broadcaster_location = sample_user_location(placement_rng)
+        wowza_dc = self.assignment.wowza_for_broadcaster(broadcaster_location)
+        # The crawler picks the POP nearest the broadcaster's ingest DC
+        # (the paper ran dedicated crawlers near every DC; one suffices
+        # per broadcast for trace collection).
+        fastly_dc = self.assignment.fastly_for_viewer(wowza_dc.location)
+
+        chunk_duration_s = self.profile.chunk_duration_s
+        if self.chunk_duration_mix is not None:
+            from repro.core.chunk_stats import sample_chunk_duration
+
+            chunk_duration_s = sample_chunk_duration(
+                local.get("chunk-size"), self.chunk_duration_mix
+            )
+        frames_per_chunk = max(1, round(chunk_duration_s / self.profile.frame_interval_s))
+
+        wowza = WowzaIngest(wowza_dc, simulator, frames_per_chunk=frames_per_chunk)
+        edge = FastlyEdge(fastly_dc, simulator, self.transfer_model, local.get("edge"))
+        broadcast_id = index + 1
+        edge.attach_broadcast(broadcast_id, wowza)
+
+        uplink_rng = local.get("uplink")
+        propagation = self.transfer_model.latency.propagation_s(
+            broadcaster_location, wowza_dc.location
+        )
+        uplink = LastMileLink.mobile_uplink(
+            uplink_rng,
+            horizon_s=duration_s + 30.0,
+            outage_rate_per_s=self.outage_rate_per_s,
+            outage_mean_s=self.outage_mean_s,
+        )
+        uplink.base_delay_s += propagation
+
+        broadcaster = BroadcasterClient(
+            broadcast_id=broadcast_id,
+            token=f"bcast-{broadcast_id}",
+            simulator=simulator,
+            wowza=wowza,
+            uplink=uplink,
+            frame_interval_s=self.profile.frame_interval_s,
+        )
+        crawler = DelayCrawler(
+            broadcast_id=broadcast_id, simulator=simulator, stop_after=duration_s + 30.0
+        )
+        broadcaster.start(start_time=0.0, duration_s=duration_s)
+        crawler.attach_rtmp(wowza)
+        crawler.attach_hls(edge)
+
+        simulator.run(until=duration_s + 60.0)
+
+        record = wowza.record_for(broadcast_id)
+        return BroadcastTrace(
+            broadcast_id=broadcast_id,
+            duration_s=duration_s,
+            frame_arrivals=crawler.frame_arrival_trace(),
+            chunk_ready=np.array(record.chunk_arrival_times()),
+            chunk_availability=crawler.chunk_availability_trace(),
+            chunk_duration_s=chunk_duration_s,
+            frame_interval_s=self.profile.frame_interval_s,
+        )
+
+
+def rtmp_viewer_traces(traces: list[BroadcastTrace]) -> list[np.ndarray]:
+    """Frame-arrival traces driving the Figure 16 playback simulation.
+
+    Per §6, the RTMP viewer path is simulated directly from the
+    frame-arrival sequence at the Wowza server (last-mile variance is
+    assumed small and stable).
+    """
+    return [trace.frame_arrivals for trace in traces]
+
+
+def hls_viewer_traces(
+    traces: list[BroadcastTrace],
+    rng: np.random.Generator,
+    poll_interval_s: float = 2.8,
+) -> list[np.ndarray]:
+    """Chunk pickup traces driving the Figure 17 playback simulation.
+
+    Per §6, each HLS viewer polls at 2.8 s with a random phase; a chunk is
+    picked up at the first poll after it becomes available at the POP.
+    """
+    from repro.core.playback import poll_pickup_times
+
+    pickups = []
+    for trace in traces:
+        if trace.chunk_count == 0:
+            continue
+        phase = float(trace.chunk_availability[0]) - float(
+            rng.uniform(0.0, poll_interval_s)
+        )
+        pickups.append(
+            poll_pickup_times(trace.chunk_availability, poll_interval_s, phase)
+        )
+    return pickups

@@ -1,0 +1,125 @@
+"""Growth projection: the volume-vs-latency link (§5.2, §8).
+
+The abstract's forward-looking claim: "Our results show a strong link
+between volume of broadcasts and stream delivery latency ... Barring a
+change in architecture, more streams will require servers to increase
+chunk sizes, improving scalability at the cost of higher delays."
+
+This module makes that projection concrete.  Given a server fleet and the
+per-stream serving cost from the Figure 14 load model, it computes — for
+each broadcast-volume level — the smallest chunk size (and the matching
+polling interval) that fits the fleet's CPU budget, and the end-to-end
+HLS delay that choice implies (chunking + polling + proportional
+buffering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cdn.server_load import ServerLoadModel
+
+
+@dataclass(frozen=True)
+class ProjectionPoint:
+    """The operating point forced by one broadcast-volume level."""
+
+    concurrent_streams: int
+    chunk_duration_s: float
+    polling_interval_s: float
+    fleet_utilization: float
+    projected_hls_delay_s: float
+
+
+@dataclass
+class GrowthProjection:
+    """Projects delay as broadcast volume grows on a fixed fleet.
+
+    Parameters
+    ----------
+    fleet_servers:
+        Number of edge-serving machines (each with 100% CPU to give).
+    viewers_per_stream:
+        Mean concurrent HLS viewers per live stream.
+    chunk_options_s:
+        Chunk sizes the operator may pick from (small → low delay).
+    buffering_factor:
+        Client pre-buffer as a multiple of the chunk size (§6 found ~2-3
+        chunks of pre-buffer are needed for smooth playback).
+    """
+
+    fleet_servers: int = 2000
+    viewers_per_stream: float = 30.0
+    chunk_options_s: tuple[float, ...] = (1.0, 2.0, 3.0, 6.0, 10.0)
+    buffering_factor: float = 2.0
+    load_model: ServerLoadModel = field(default_factory=ServerLoadModel)
+    upload_plus_lastmile_s: float = 0.35
+    wowza2fastly_s: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.fleet_servers <= 0:
+            raise ValueError("need at least one server")
+        if self.viewers_per_stream <= 0:
+            raise ValueError("viewers per stream must be positive")
+        if not self.chunk_options_s:
+            raise ValueError("need at least one chunk option")
+
+    def _polling_interval_for(self, chunk_s: float) -> float:
+        """Clients poll a bit faster than the chunk cadence (Periscope:
+        2-2.8 s for 3 s chunks -> ~0.8x)."""
+        return 0.8 * chunk_s
+
+    def _per_stream_cpu(self, chunk_s: float) -> float:
+        """CPU% one stream costs a server at this chunk size."""
+        polls_per_s = self.viewers_per_stream / self._polling_interval_for(chunk_s)
+        chunks_per_s = 1.0 / chunk_s
+        return (
+            polls_per_s * self.load_model.cpu_per_poll
+            + chunks_per_s * self.load_model.cpu_per_chunk_assembly
+        )
+
+    def fleet_capacity_percent(self) -> float:
+        """Total CPU budget across the fleet, in single-server percents."""
+        usable = 100.0 - self.load_model.base_cpu_percent
+        return self.fleet_servers * usable
+
+    def operating_point(self, concurrent_streams: int) -> ProjectionPoint:
+        """The cheapest-delay configuration that still fits the fleet."""
+        if concurrent_streams <= 0:
+            raise ValueError("stream count must be positive")
+        capacity = self.fleet_capacity_percent()
+        for chunk_s in sorted(self.chunk_options_s):
+            demand = concurrent_streams * self._per_stream_cpu(chunk_s)
+            if demand <= capacity:
+                polling = self._polling_interval_for(chunk_s)
+                delay = (
+                    self.upload_plus_lastmile_s
+                    + chunk_s  # chunking delay
+                    + self.wowza2fastly_s
+                    + polling / 2.0  # mean polling delay
+                    + self.buffering_factor * chunk_s  # pre-buffer
+                )
+                return ProjectionPoint(
+                    concurrent_streams=concurrent_streams,
+                    chunk_duration_s=chunk_s,
+                    polling_interval_s=polling,
+                    fleet_utilization=demand / capacity,
+                    projected_hls_delay_s=delay,
+                )
+        raise CapacityExceeded(
+            f"{concurrent_streams} streams exceed fleet capacity even at "
+            f"{max(self.chunk_options_s):g}s chunks"
+        )
+
+    def sweep(self, stream_counts: list[int]) -> list[ProjectionPoint]:
+        """Project the operating point across a growth trajectory."""
+        return [self.operating_point(count) for count in stream_counts]
+
+    def max_streams(self) -> int:
+        """Fleet ceiling: streams supportable at the largest chunk size."""
+        chunk_s = max(self.chunk_options_s)
+        return int(self.fleet_capacity_percent() / self._per_stream_cpu(chunk_s))
+
+
+class CapacityExceeded(Exception):
+    """Raised when no chunk size fits the fleet budget."""

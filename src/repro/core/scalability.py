@@ -1,0 +1,168 @@
+"""Scalability analysis (§5.2 "Scalability", Figure 14).
+
+Two complementary instruments:
+
+* :func:`scalability_sweep` evaluates the analytic
+  :class:`~repro.cdn.server_load.ServerLoadModel` over a viewer-count
+  sweep — this regenerates Figure 14's curves (the paper measured a real
+  Wowza engine; our substitute prices per-frame vs per-poll operations).
+* :func:`measure_operations` validates the model's *operation counts*
+  against the event-level CDN simulation: it streams one broadcast to N
+  RTMP or N HLS viewers and counts the work the servers actually did.
+  The per-viewer operation ratio (~25 frame-pushes/s vs ~0.4 polls/s) is
+  the mechanism behind RTMP's steeper CPU curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cdn.fastly import FastlyEdge
+from repro.cdn.server_load import LoadPoint, ServerLoadModel
+from repro.cdn.transfer import TransferModel
+from repro.cdn.wowza import WowzaIngest
+from repro.client.broadcaster import BroadcasterClient
+from repro.client.network import LastMileLink
+from repro.client.viewer_client import HlsViewerClient, RtmpViewerClient
+from repro.geo.datacenters import FASTLY_DATACENTERS, WOWZA_DATACENTERS
+from repro.simulation.engine import Simulator
+from repro.simulation.randomness import RandomStreams
+
+
+def scalability_sweep(
+    viewer_counts: list[int],
+    model: ServerLoadModel | None = None,
+) -> dict[str, list[LoadPoint]]:
+    """Figure 14: CPU/memory curves for RTMP and HLS over a viewer sweep."""
+    load_model = model or ServerLoadModel()
+    return {
+        "rtmp": load_model.load_curve(viewer_counts, "rtmp"),
+        "hls": load_model.load_curve(viewer_counts, "hls"),
+    }
+
+
+@dataclass(frozen=True)
+class OperationCounts:
+    """Server-side work measured in the event simulation."""
+
+    protocol: str
+    viewers: int
+    duration_s: float
+    frame_pushes: int
+    polls_served: int
+    chunks_assembled: int
+
+    @property
+    def ops_per_viewer_second(self) -> float:
+        ops = self.frame_pushes + self.polls_served
+        if self.viewers == 0 or self.duration_s == 0:
+            return 0.0
+        return ops / (self.viewers * self.duration_s)
+
+
+def measure_operations(
+    protocol: str,
+    viewers: int,
+    duration_s: float = 30.0,
+    seed: int = 11,
+) -> OperationCounts:
+    """Stream one broadcast to ``viewers`` clients and count server work."""
+    if protocol not in ("rtmp", "hls"):
+        raise ValueError(f"unknown protocol {protocol!r}")
+    if viewers < 0:
+        raise ValueError("viewer count must be non-negative")
+    streams = RandomStreams(seed)
+    simulator = Simulator()
+    wowza = WowzaIngest(WOWZA_DATACENTERS[0], simulator)
+    broadcast_id = 1
+
+    uplink = LastMileLink.stable_wifi(streams.get("uplink"))
+    broadcaster = BroadcasterClient(
+        broadcast_id=broadcast_id,
+        token="load-test",
+        simulator=simulator,
+        wowza=wowza,
+        uplink=uplink,
+    )
+
+    edge = None
+    hls_clients: list[HlsViewerClient] = []
+    if protocol == "hls":
+        edge = FastlyEdge(
+            FASTLY_DATACENTERS[0], simulator, TransferModel(), streams.get("edge")
+        )
+        edge.attach_broadcast(broadcast_id, wowza)
+
+    broadcaster.start(start_time=0.0, duration_s=duration_s)
+
+    poll_rng = streams.get("poll")
+    for index in range(viewers):
+        downlink = LastMileLink.stable_wifi(streams.get(f"down/{index}"))
+        if protocol == "rtmp":
+            client = RtmpViewerClient(
+                viewer_id=index, broadcast_id=broadcast_id,
+                simulator=simulator, downlink=downlink,
+            )
+            client.attach(wowza)
+        else:
+            assert edge is not None
+            hls_client = HlsViewerClient(
+                viewer_id=index,
+                broadcast_id=broadcast_id,
+                simulator=simulator,
+                edge=edge,
+                downlink=downlink,
+                poll_interval_s=float(poll_rng.uniform(2.0, 2.8)),
+                stop_after=duration_s,
+            )
+            hls_client.start_polling(first_poll_at=float(poll_rng.uniform(0.0, 2.8)))
+            hls_clients.append(hls_client)
+
+    simulator.run(until=duration_s + 20.0)
+
+    record = wowza.record_for(broadcast_id)
+    frames_ingested = len(record.frame_arrivals)
+    if protocol == "rtmp":
+        return OperationCounts(
+            protocol="rtmp",
+            viewers=viewers,
+            duration_s=duration_s,
+            frame_pushes=frames_ingested * viewers,
+            polls_served=0,
+            chunks_assembled=len(record.chunk_ready),
+        )
+    assert edge is not None
+    return OperationCounts(
+        protocol="hls",
+        viewers=viewers,
+        duration_s=duration_s,
+        frame_pushes=0,
+        polls_served=edge.poll_count(broadcast_id),
+        chunks_assembled=len(record.chunk_ready),
+    )
+
+
+def cpu_from_operations(counts: OperationCounts, model: ServerLoadModel | None = None) -> float:
+    """Convert measured operation counts into the model's CPU estimate."""
+    load_model = model or ServerLoadModel()
+    if counts.duration_s <= 0:
+        raise ValueError("duration must be positive")
+    push_rate = counts.frame_pushes / counts.duration_s
+    poll_rate = counts.polls_served / counts.duration_s
+    chunk_rate = counts.chunks_assembled / counts.duration_s
+    cpu = (
+        load_model.base_cpu_percent
+        + push_rate * load_model.cpu_per_frame_push
+        + poll_rate * load_model.cpu_per_poll
+        + (chunk_rate * load_model.cpu_per_chunk_assembly if counts.protocol == "hls" else 0.0)
+    )
+    return min(cpu, load_model.max_cpu_percent)
+
+
+def operation_ratio(duration_s: float = 30.0, viewers: int = 20, seed: int = 11) -> float:
+    """RTMP-to-HLS per-viewer operation ratio (the ~70x mechanism)."""
+    rtmp = measure_operations("rtmp", viewers, duration_s, seed)
+    hls = measure_operations("hls", viewers, duration_s, seed)
+    if hls.ops_per_viewer_second == 0:
+        return float("inf")
+    return rtmp.ops_per_viewer_second / hls.ops_per_viewer_second

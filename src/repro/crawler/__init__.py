@@ -1,0 +1,43 @@
+"""Measurement crawlers.
+
+Reimplements the paper's three data-collection instruments against the
+simulated platform and CDN:
+
+* the global-list crawler that repeatedly queries the 50-broadcast global
+  list from multiple accounts to achieve an aggregate 0.25 s refresh and
+  capture (nearly) every broadcast (§3.1),
+* per-broadcast monitors that join each discovered broadcast and record
+  viewers, comments and hearts until it ends,
+* the fine-grained delay crawler that joins broadcasts as an RTMP viewer
+  (zero-buffer) and as a high-frequency (0.1 s) HLS poller to timestamp
+  each frame/chunk's journey through the CDN (§4.3).
+"""
+
+from repro.crawler.dataset import BroadcastDataset, BroadcastRecord, DowntimeWindow
+from repro.crawler.rate_limit import RateLimitExceeded, TokenBucket
+from repro.crawler.global_list import CrawlerAccount, GlobalListCrawler
+from repro.crawler.broadcast_monitor import BroadcastMonitor
+from repro.crawler.delay_crawler import ChunkObservation, DelayCrawler, FrameObservation
+from repro.crawler.graph_crawler import FollowGraphCrawler, GraphApi, GraphCrawl
+from repro.crawler.storage import load_dataset, load_traces, save_dataset, save_traces
+
+__all__ = [
+    "BroadcastDataset",
+    "BroadcastRecord",
+    "DowntimeWindow",
+    "TokenBucket",
+    "RateLimitExceeded",
+    "GlobalListCrawler",
+    "CrawlerAccount",
+    "BroadcastMonitor",
+    "DelayCrawler",
+    "FrameObservation",
+    "ChunkObservation",
+    "GraphApi",
+    "FollowGraphCrawler",
+    "GraphCrawl",
+    "save_dataset",
+    "load_dataset",
+    "save_traces",
+    "load_traces",
+]

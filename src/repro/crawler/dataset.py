@@ -1,0 +1,219 @@
+"""Crawled broadcast datasets.
+
+A :class:`BroadcastRecord` is the per-broadcast metadata row the paper's
+crawler stored (no video or message content): identifiers, times, viewer
+IDs with join times, and comment/heart tallies.  A :class:`BroadcastDataset`
+is the full measurement — with support for the crawler-downtime window
+(Aug 7–9, ~4.5% of broadcasts lost) that the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class DowntimeWindow:
+    """A crawler outage: broadcasts starting inside it are lost."""
+
+    start_day: float
+    end_day: float
+    loss_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.end_day < self.start_day:
+            raise ValueError("end_day before start_day")
+        if not 0 <= self.loss_fraction <= 1:
+            raise ValueError("loss_fraction must be within [0, 1]")
+
+    def covers(self, day: float) -> bool:
+        return self.start_day <= day < self.end_day
+
+
+@dataclass
+class BroadcastRecord:
+    """One crawled broadcast (metadata only, identifiers anonymized upstream)."""
+
+    broadcast_id: int
+    broadcaster_id: int
+    app_name: str
+    start_time: float  # seconds since measurement start
+    duration_s: float
+    viewer_ids: np.ndarray  # registered (mobile) viewer IDs, one per view
+    web_views: int
+    heart_count: int
+    comment_count: int
+    commenter_count: int
+    is_private: bool = False
+    broadcaster_followers: int = 0
+
+    def __post_init__(self) -> None:
+        self.viewer_ids = np.asarray(self.viewer_ids, dtype=np.int64)
+        if self.duration_s < 0:
+            raise ValueError("negative duration")
+        if self.web_views < 0:
+            raise ValueError("negative web views")
+
+    @property
+    def start_day(self) -> float:
+        return self.start_time / SECONDS_PER_DAY
+
+    @property
+    def mobile_views(self) -> int:
+        return int(len(self.viewer_ids))
+
+    @property
+    def total_views(self) -> int:
+        return self.mobile_views + self.web_views
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration_s
+
+
+@dataclass
+class BroadcastDataset:
+    """A complete crawl of one application over one measurement window."""
+
+    app_name: str
+    days: int
+    records: list[BroadcastRecord] = field(default_factory=list)
+    downtime: Optional[DowntimeWindow] = None
+
+    def add(self, record: BroadcastRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[BroadcastRecord]:
+        return iter(self.records)
+
+    # -- aggregate statistics (Table 1) ---------------------------------
+
+    @property
+    def broadcast_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def broadcaster_count(self) -> int:
+        return len({record.broadcaster_id for record in self.records})
+
+    @property
+    def total_views(self) -> int:
+        return sum(record.total_views for record in self.records)
+
+    @property
+    def mobile_views(self) -> int:
+        return sum(record.mobile_views for record in self.records)
+
+    @property
+    def web_views(self) -> int:
+        return sum(record.web_views for record in self.records)
+
+    @property
+    def unique_viewer_count(self) -> int:
+        unique: set[int] = set()
+        for record in self.records:
+            unique.update(record.viewer_ids.tolist())
+        return len(unique)
+
+    def table1_row(self) -> dict[str, int]:
+        """The Table 1 row for this dataset."""
+        return {
+            "broadcasts": self.broadcast_count,
+            "broadcasters": self.broadcaster_count,
+            "total_views": self.total_views,
+            "unique_viewers": self.unique_viewer_count,
+        }
+
+    # -- time series (Figures 1-2) ---------------------------------------
+
+    def daily_broadcast_counts(self) -> np.ndarray:
+        counts = np.zeros(self.days, dtype=np.int64)
+        for record in self.records:
+            day = int(record.start_day)
+            if 0 <= day < self.days:
+                counts[day] += 1
+        return counts
+
+    def daily_active_users(self) -> tuple[np.ndarray, np.ndarray]:
+        """(daily unique viewers, daily unique broadcasters)."""
+        viewers: list[set[int]] = [set() for _ in range(self.days)]
+        broadcasters: list[set[int]] = [set() for _ in range(self.days)]
+        for record in self.records:
+            day = int(record.start_day)
+            if not 0 <= day < self.days:
+                continue
+            broadcasters[day].add(record.broadcaster_id)
+            viewers[day].update(record.viewer_ids.tolist())
+        return (
+            np.array([len(s) for s in viewers], dtype=np.int64),
+            np.array([len(s) for s in broadcasters], dtype=np.int64),
+        )
+
+    # -- filtering --------------------------------------------------------
+
+    def apply_downtime(
+        self, window: DowntimeWindow, rng: np.random.Generator
+    ) -> "BroadcastDataset":
+        """Return a copy with broadcasts lost during the outage removed."""
+        kept = [
+            record
+            for record in self.records
+            if not (window.covers(record.start_day) and rng.random() < window.loss_fraction)
+        ]
+        return BroadcastDataset(
+            app_name=self.app_name, days=self.days, records=kept, downtime=window
+        )
+
+    def sample_records(
+        self, rng: np.random.Generator, count: int
+    ) -> list[BroadcastRecord]:
+        """Uniform random sample (the delay study drew 16,013 broadcasts)."""
+        if count >= len(self.records):
+            return list(self.records)
+        indices = rng.choice(len(self.records), size=count, replace=False)
+        return [self.records[i] for i in sorted(indices)]
+
+
+def merge_datasets(datasets: Sequence[BroadcastDataset]) -> BroadcastDataset:
+    """Concatenate several crawls of the same app (e.g. sharded crawlers)."""
+    if not datasets:
+        raise ValueError("no datasets to merge")
+    first = datasets[0]
+    if any(d.app_name != first.app_name for d in datasets):
+        raise ValueError("cannot merge datasets from different apps")
+    merged = BroadcastDataset(
+        app_name=first.app_name, days=max(d.days for d in datasets)
+    )
+    seen: set[int] = set()
+    for dataset in datasets:
+        for record in dataset:
+            if record.broadcast_id not in seen:
+                seen.add(record.broadcast_id)
+                merged.add(record)
+    return merged
+
+
+def views_per_user(records: Iterable[BroadcastRecord]) -> dict[int, int]:
+    """Number of broadcasts viewed per registered user (Figure 6)."""
+    counts: dict[int, int] = {}
+    for record in records:
+        for viewer in np.unique(record.viewer_ids):
+            key = int(viewer)
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def creations_per_user(records: Iterable[BroadcastRecord]) -> dict[int, int]:
+    """Number of broadcasts created per user (Figure 6)."""
+    counts: dict[int, int] = {}
+    for record in records:
+        counts[record.broadcaster_id] = counts.get(record.broadcaster_id, 0) + 1
+    return counts

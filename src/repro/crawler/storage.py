@@ -1,0 +1,134 @@
+"""Dataset and trace persistence.
+
+The paper released parts of its measurement datasets; this module gives
+the reproduction the same capability: broadcast datasets round-trip
+through gzip-compressed JSONL (one record per line, metadata on the first
+line) and fine-grained delay traces through ``.npz`` bundles.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.pipeline import BroadcastTrace
+from repro.crawler.dataset import BroadcastDataset, BroadcastRecord
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def _record_to_json(record: BroadcastRecord) -> dict:
+    return {
+        "broadcast_id": record.broadcast_id,
+        "broadcaster_id": record.broadcaster_id,
+        "app_name": record.app_name,
+        "start_time": record.start_time,
+        "duration_s": record.duration_s,
+        "viewer_ids": record.viewer_ids.tolist(),
+        "web_views": record.web_views,
+        "heart_count": record.heart_count,
+        "comment_count": record.comment_count,
+        "commenter_count": record.commenter_count,
+        "is_private": record.is_private,
+        "broadcaster_followers": record.broadcaster_followers,
+    }
+
+
+def _record_from_json(payload: dict) -> BroadcastRecord:
+    return BroadcastRecord(
+        broadcast_id=payload["broadcast_id"],
+        broadcaster_id=payload["broadcaster_id"],
+        app_name=payload["app_name"],
+        start_time=payload["start_time"],
+        duration_s=payload["duration_s"],
+        viewer_ids=np.array(payload["viewer_ids"], dtype=np.int64),
+        web_views=payload["web_views"],
+        heart_count=payload["heart_count"],
+        comment_count=payload["comment_count"],
+        commenter_count=payload["commenter_count"],
+        is_private=payload["is_private"],
+        broadcaster_followers=payload["broadcaster_followers"],
+    )
+
+
+def save_dataset(dataset: BroadcastDataset, path: PathLike) -> None:
+    """Write a dataset as gzip JSONL: header line, then one record/line."""
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "app_name": dataset.app_name,
+        "days": dataset.days,
+        "record_count": len(dataset),
+    }
+    with gzip.open(Path(path), "wt", encoding="utf-8") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for record in dataset:
+            handle.write(json.dumps(_record_to_json(record)) + "\n")
+
+
+def load_dataset(path: PathLike) -> BroadcastDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    with gzip.open(Path(path), "rt", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty dataset file")
+        header = json.loads(header_line)
+        version = header.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"{path}: unsupported format version {version}")
+        dataset = BroadcastDataset(app_name=header["app_name"], days=header["days"])
+        for line in handle:
+            if line.strip():
+                dataset.add(_record_from_json(json.loads(line)))
+    expected = header.get("record_count")
+    if expected is not None and expected != len(dataset):
+        raise ValueError(
+            f"{path}: truncated dataset ({len(dataset)} of {expected} records)"
+        )
+    return dataset
+
+
+def save_traces(traces: list[BroadcastTrace], path: PathLike) -> None:
+    """Write delay-crawl traces to a compressed ``.npz`` bundle."""
+    if not traces:
+        raise ValueError("no traces to save")
+    arrays: dict[str, np.ndarray] = {
+        "meta": np.array(
+            [
+                (t.broadcast_id, t.duration_s, t.chunk_duration_s, t.frame_interval_s)
+                for t in traces
+            ],
+            dtype=np.float64,
+        )
+    }
+    for index, trace in enumerate(traces):
+        arrays[f"frames_{index}"] = trace.frame_arrivals
+        arrays[f"ready_{index}"] = trace.chunk_ready
+        arrays[f"avail_{index}"] = trace.chunk_availability
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_traces(path: PathLike) -> list[BroadcastTrace]:
+    """Read traces written by :func:`save_traces`."""
+    with np.load(Path(path)) as bundle:
+        meta = bundle["meta"]
+        traces = []
+        for index in range(len(meta)):
+            broadcast_id, duration_s, chunk_duration_s, frame_interval_s = meta[index]
+            traces.append(
+                BroadcastTrace(
+                    broadcast_id=int(broadcast_id),
+                    duration_s=float(duration_s),
+                    frame_arrivals=bundle[f"frames_{index}"],
+                    chunk_ready=bundle[f"ready_{index}"],
+                    chunk_availability=bundle[f"avail_{index}"],
+                    chunk_duration_s=float(chunk_duration_s),
+                    frame_interval_s=float(frame_interval_s),
+                )
+            )
+    return traces

@@ -1,0 +1,58 @@
+"""Shared, cached experiment inputs.
+
+Table 1 and Figures 1–7 all consume the same generated workload traces;
+Figures 12, 13, 16 and 17 all consume the same delay-crawl traces.
+Generating them once per process keeps the benchmark suite honest about
+what each experiment itself costs.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.pipeline import BroadcastTrace, DelayMeasurementCampaign
+from repro.workload.trace import TraceConfig, TraceGenerator, WorkloadTrace
+
+#: Default scale for trace experiments: 1/2000 of Periscope's real volume
+#: (~10K broadcasts over 98 days) keeps every figure runnable in seconds.
+DEFAULT_SCALE = 0.0005
+DEFAULT_SEED = 2016
+
+#: Default delay-crawl campaign size (the paper crawled 16,013 broadcasts;
+#: shapes stabilize well before 100 here).
+DEFAULT_CAMPAIGN_BROADCASTS = 60
+
+
+@lru_cache(maxsize=4)
+def periscope_trace(
+    scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED
+) -> WorkloadTrace:
+    return TraceGenerator(TraceConfig.periscope(scale=scale, seed=seed)).generate()
+
+
+#: Meerkat's absolute volume is ~120x smaller than Periscope's; crawling it
+#: at the same relative scale leaves too few broadcasts for stable daily
+#: statistics, so its trace is generated at a boosted relative scale and
+#: every per-app comparison rescales by the trace's own config.scale.
+MEERKAT_SCALE_BOOST = 20.0
+
+
+@lru_cache(maxsize=4)
+def meerkat_trace(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED) -> WorkloadTrace:
+    boosted = min(1.0, scale * MEERKAT_SCALE_BOOST)
+    return TraceGenerator(TraceConfig.meerkat(scale=boosted, seed=seed)).generate()
+
+
+@lru_cache(maxsize=4)
+def delay_traces(
+    n_broadcasts: int = DEFAULT_CAMPAIGN_BROADCASTS, seed: int = DEFAULT_SEED
+) -> tuple[BroadcastTrace, ...]:
+    campaign = DelayMeasurementCampaign(n_broadcasts=n_broadcasts, seed=seed)
+    return tuple(campaign.run())
+
+
+def clear_caches() -> None:
+    """Drop all cached inputs (used by tests that vary parameters)."""
+    periscope_trace.cache_clear()
+    meerkat_trace.cache_clear()
+    delay_traces.cache_clear()

@@ -1,0 +1,60 @@
+"""Figure 12: CDF of average polling delay per broadcast."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.delay_stats import polling_cdfs
+from repro.analysis.plots import ascii_cdf
+from repro.analysis.report import render_cdf_summary
+from repro.core.polling import simulate_polling
+from repro.experiments.context import DEFAULT_CAMPAIGN_BROADCASTS, DEFAULT_SEED, delay_traces
+from repro.experiments.registry import ExperimentResult, experiment
+
+POLL_INTERVALS_S = [2.0, 3.0, 4.0]
+
+
+@experiment(
+    "fig12",
+    "Figure 12: CDF of average polling delay per broadcast",
+    "Mean polling delay is ~interval/2 for 2 s and 4 s intervals; at 3 s — "
+    "resonant with the ~3 s chunk inter-arrival — per-broadcast means spread "
+    "out, varying largely between 1 s and 2 s.",
+)
+def run(
+    n_broadcasts: int = DEFAULT_CAMPAIGN_BROADCASTS, seed: int = DEFAULT_SEED
+) -> ExperimentResult:
+    traces = [t.chunk_availability for t in delay_traces(n_broadcasts, seed)]
+    rng = np.random.default_rng(seed + 12)
+    stats = simulate_polling(traces, POLL_INTERVALS_S, rng)
+    cdfs = polling_cdfs(stats, quantity="mean")
+
+    data = {
+        "stats": stats,
+        "cdfs": cdfs,
+        "mean_of_means": {
+            interval: float(np.mean([s.mean_delay_s for s in per_interval]))
+            for interval, per_interval in stats.items()
+        },
+        "spread_3s": float(
+            np.std([s.mean_delay_s for s in stats[3.0]])
+        ),
+    }
+    text = "\n".join(
+        [
+            ascii_cdf(cdfs, title="Figure 12 — CDF of mean polling delay per broadcast (s)"),
+            render_cdf_summary(cdfs, title="Figure 12 — mean polling delay per broadcast (s)"),
+            "Mean of per-broadcast means: "
+            + ", ".join(
+                f"{interval:g}s -> {value:.2f}s"
+                for interval, value in sorted(data["mean_of_means"].items())
+            )
+            + "  (paper: 2s->1.0, 4s->2.0, 3s varies 1-2)",
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="fig12",
+        title="Figure 12: CDF of average polling delay per broadcast",
+        data=data,
+        text=text,
+    )

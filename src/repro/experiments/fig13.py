@@ -1,0 +1,57 @@
+"""Figure 13: CDF of polling-delay variance (std) per broadcast."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.delay_stats import polling_cdfs
+from repro.analysis.plots import ascii_cdf
+from repro.analysis.report import render_cdf_summary
+from repro.core.polling import simulate_polling
+from repro.experiments.context import DEFAULT_CAMPAIGN_BROADCASTS, DEFAULT_SEED, delay_traces
+from repro.experiments.fig12 import POLL_INTERVALS_S
+from repro.experiments.registry import ExperimentResult, experiment
+
+
+@experiment(
+    "fig13",
+    "Figure 13: CDF of polling delay variance per broadcast",
+    "Polling delay varies largely within each broadcast (viewers cannot "
+    "predict chunk arrivals); non-resonant intervals cycle through the full "
+    "[0, interval) range (std ~ interval/sqrt(12)) while the resonant 3 s "
+    "interval drifts slowly.",
+)
+def run(
+    n_broadcasts: int = DEFAULT_CAMPAIGN_BROADCASTS, seed: int = DEFAULT_SEED
+) -> ExperimentResult:
+    traces = [t.chunk_availability for t in delay_traces(n_broadcasts, seed)]
+    rng = np.random.default_rng(seed + 13)
+    stats = simulate_polling(traces, POLL_INTERVALS_S, rng)
+    cdfs = polling_cdfs(stats, quantity="std")
+
+    data = {
+        "stats": stats,
+        "cdfs": cdfs,
+        "median_std": {
+            interval: float(np.median([s.std_delay_s for s in per_interval]))
+            for interval, per_interval in stats.items()
+        },
+    }
+    text = "\n".join(
+        [
+            ascii_cdf(cdfs, title="Figure 13 — CDF of polling delay std per broadcast (s)"),
+            render_cdf_summary(cdfs, title="Figure 13 — polling delay std per broadcast (s)"),
+            "Median per-broadcast std: "
+            + ", ".join(
+                f"{interval:g}s -> {value:.2f}s"
+                for interval, value in sorted(data["median_std"].items())
+            )
+            + "  (uniform-cycling reference: 2s->0.58, 4s->1.15)",
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="fig13",
+        title="Figure 13: CDF of polling delay variance per broadcast",
+        data=data,
+        text=text,
+    )

@@ -1,0 +1,60 @@
+"""Figure 16: RTMP pre-buffer size vs stalling and buffering delay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.plots import ascii_cdf
+from repro.analysis.report import render_cdf_summary
+from repro.core.pipeline import rtmp_viewer_traces
+from repro.core.playback import sweep_prebuffer
+from repro.experiments.context import DEFAULT_CAMPAIGN_BROADCASTS, DEFAULT_SEED, delay_traces
+from repro.experiments.registry import ExperimentResult, experiment
+
+RTMP_PREBUFFERS_S = [0.0, 0.5, 1.0]
+FRAME_INTERVAL_S = 0.040
+
+
+@experiment(
+    "fig16",
+    "Figure 16: RTMP pre-buffer impact on stalling and buffering delay",
+    "RTMP playback is already smooth, so bigger pre-buffers barely improve "
+    "stalling while (slightly) raising delay; ~10% of broadcasts see >5 s "
+    "buffering delay caused by bursty frame uploads.",
+)
+def run(
+    n_broadcasts: int = DEFAULT_CAMPAIGN_BROADCASTS, seed: int = DEFAULT_SEED
+) -> ExperimentResult:
+    traces = rtmp_viewer_traces(list(delay_traces(n_broadcasts, seed)))
+    sweep = sweep_prebuffer(traces, RTMP_PREBUFFERS_S, FRAME_INTERVAL_S)
+
+    stall_cdfs = {f"P={p:g}s stall": Cdf(v["stall_ratio"]) for p, v in sweep.items()}
+    delay_cdfs = {f"P={p:g}s delay": Cdf(v["buffering_delay"]) for p, v in sweep.items()}
+
+    long_delay_fraction = float(
+        np.mean(sweep[1.0]["buffering_delay"] > 5.0)
+    )
+    data = {
+        "sweep": sweep,
+        "stall_cdfs": stall_cdfs,
+        "delay_cdfs": delay_cdfs,
+        "long_delay_fraction_p1": long_delay_fraction,
+        "median_stall": {p: float(np.median(v["stall_ratio"])) for p, v in sweep.items()},
+    }
+    text = "\n".join(
+        [
+            ascii_cdf(stall_cdfs, title="Figure 16(a) — CDF of RTMP stalling ratio", x_max=0.1),
+            ascii_cdf(delay_cdfs, title="Figure 16(b) — CDF of RTMP buffering delay (s)", x_max=10.0),
+            render_cdf_summary(stall_cdfs, title="Figure 16(a) — RTMP stalling ratio"),
+            render_cdf_summary(delay_cdfs, title="Figure 16(b) — RTMP buffering delay (s)"),
+            f"Broadcasts with >5s buffering delay at P=1s: {long_delay_fraction:.1%}"
+            " (paper: ~10%, from bursty uploads)",
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="fig16",
+        title="Figure 16: RTMP pre-buffer impact",
+        data=data,
+        text=text,
+    )

@@ -1,0 +1,52 @@
+"""Figure 18: the stream-tampering proof of concept (and the defense)."""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.security.experiment import run_attack_matrix
+
+
+@experiment(
+    "fig18",
+    "Figure 18: broadcaster/viewer views before and after the attack",
+    "After the ARP-spoofing MITM starts, the viewer sees black frames while "
+    "the broadcaster's preview shows the original video; the §7.2 signature "
+    "defense detects and drops every tampered frame.",
+)
+def run() -> ExperimentResult:
+    matrix = run_attack_matrix()
+    rows = {}
+    for scenario, result in matrix.items():
+        rows[scenario] = {
+            "frames_sent": result.frames_sent,
+            "tampered": result.tampered_count,
+            "viewer_black": result.viewer_black_frames,
+            "broadcaster_black": result.broadcaster_black_frames,
+            "detected": result.tampered_detected,
+            "attack_succeeded": result.attack_succeeded,
+            "token_leaked": bool(result.tokens_leaked),
+        }
+    data = {"matrix": matrix, "rows": rows}
+    text = "\n".join(
+        [
+            format_table(
+                rows,
+                title="Figure 18 — tampering PoC outcomes",
+                row_header="scenario",
+            ),
+            "attack: viewer sees black frames, broadcaster preview unchanged, "
+            "broadcast token captured in plaintext (paper's §7.1 result).",
+            "attack_with_defense: every tampered frame rejected by signature "
+            "verification (paper's §7.2 countermeasure).",
+            "attack_with_rtmps: full encryption (Facebook Live's choice) makes "
+            "the stream unparseable — no token leak, no tampering — at ~2-3x "
+            "the client CPU cost (see the defense-overhead ablation).",
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="fig18",
+        title="Figure 18: stream-tampering proof of concept",
+        data=data,
+        text=text,
+    )

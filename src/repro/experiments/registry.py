@@ -1,0 +1,105 @@
+"""Experiment registry.
+
+Maps experiment IDs to runner callables.  Runners are registered by the
+modules in this package via the :func:`experiment` decorator; importing
+:mod:`repro.experiments.registry` pulls them all in.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Callable
+
+_RUNNERS: dict[str, "RegisteredExperiment"] = {}
+
+#: Modules that register experiments on import.
+_EXPERIMENT_MODULES = (
+    "repro.experiments.table1",
+    "repro.experiments.table2",
+    "repro.experiments.fig01",
+    "repro.experiments.fig02",
+    "repro.experiments.fig03",
+    "repro.experiments.fig04",
+    "repro.experiments.fig05",
+    "repro.experiments.fig06",
+    "repro.experiments.fig07",
+    "repro.experiments.fig08",
+    "repro.experiments.fig09",
+    "repro.experiments.fig10",
+    "repro.experiments.fig11",
+    "repro.experiments.fig12",
+    "repro.experiments.fig13",
+    "repro.experiments.fig14",
+    "repro.experiments.fig15",
+    "repro.experiments.fig16",
+    "repro.experiments.fig17",
+    "repro.experiments.fig18",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The output of one experiment run."""
+
+    experiment_id: str
+    title: str
+    data: dict[str, Any]
+    text: str
+    paper_expectation: str = ""
+
+    def __str__(self) -> str:
+        return self.text
+
+
+@dataclass(frozen=True)
+class RegisteredExperiment:
+    experiment_id: str
+    title: str
+    runner: Callable[..., ExperimentResult]
+    paper_expectation: str = ""
+
+
+def experiment(
+    experiment_id: str, title: str, paper_expectation: str = ""
+) -> Callable[[Callable[..., ExperimentResult]], Callable[..., ExperimentResult]]:
+    """Decorator registering a runner under ``experiment_id``."""
+
+    def decorate(runner: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+        if experiment_id in _RUNNERS:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _RUNNERS[experiment_id] = RegisteredExperiment(
+            experiment_id=experiment_id,
+            title=title,
+            runner=runner,
+            paper_expectation=paper_expectation,
+        )
+        return runner
+
+    return decorate
+
+
+def _ensure_loaded() -> None:
+    for module in _EXPERIMENT_MODULES:
+        importlib.import_module(module)
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment IDs, in paper order."""
+    _ensure_loaded()
+    return list(_RUNNERS)
+
+
+def get_experiment(experiment_id: str) -> RegisteredExperiment:
+    """Look up one registered experiment by ID (raises KeyError if unknown)."""
+    _ensure_loaded()
+    if experiment_id not in _RUNNERS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_RUNNERS)}"
+        )
+    return _RUNNERS[experiment_id]
+
+
+def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
+    """Run one experiment by ID."""
+    return get_experiment(experiment_id).runner(**kwargs)

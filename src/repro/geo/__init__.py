@@ -1,0 +1,35 @@
+"""Geographic substrate: coordinates, datacenter catalogs, latency models.
+
+The paper found Periscope's CDN built on 8 Wowza (Amazon EC2) ingest
+datacenters and 23 Fastly edge POPs, with 6 of 8 Wowza sites co-located with
+a Fastly site in the same city.  This package encodes those catalogs, plus a
+distance-based latency model used everywhere a packet crosses the simulated
+wide-area network.
+"""
+
+from repro.geo.coordinates import GeoPoint, haversine_km
+from repro.geo.datacenters import (
+    Datacenter,
+    FASTLY_DATACENTERS,
+    WOWZA_DATACENTERS,
+    colocated_pairs,
+    nearest_datacenter,
+)
+from repro.geo.latency import LatencyModel, distance_bucket, DISTANCE_BUCKETS
+from repro.geo.regions import POPULATION_CENTERS, Region, sample_user_location
+
+__all__ = [
+    "GeoPoint",
+    "haversine_km",
+    "Datacenter",
+    "WOWZA_DATACENTERS",
+    "FASTLY_DATACENTERS",
+    "colocated_pairs",
+    "nearest_datacenter",
+    "LatencyModel",
+    "distance_bucket",
+    "DISTANCE_BUCKETS",
+    "POPULATION_CENTERS",
+    "Region",
+    "sample_user_location",
+]

@@ -1,0 +1,131 @@
+"""Datacenter catalogs for the simulated Periscope CDN.
+
+The paper (§4.1, Figure 9) located 8 Wowza ingest datacenters (hosted on
+Amazon EC2) and 23 Fastly edge POPs.  It reports that 6 of the 8 Wowza sites
+have a Fastly POP co-located in the same city, 7 of 8 are at least on the
+same continent, and the single exception is South America, where Fastly had
+no POP at measurement time.  The catalogs below encode exactly those
+structural facts using the EC2 regions and Fastly POP cities of mid-2015.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.geo.coordinates import GeoPoint
+
+
+@dataclass(frozen=True)
+class Datacenter:
+    """A named CDN site."""
+
+    name: str
+    city: str
+    continent: str
+    location: GeoPoint
+    operator: str  # "wowza" or "fastly"
+
+    def distance_km(self, other: "Datacenter") -> float:
+        return self.location.distance_km(other.location)
+
+    @property
+    def key(self) -> str:
+        return f"{self.operator}:{self.name}"
+
+
+def _wowza(name: str, city: str, continent: str, lat: float, lon: float) -> Datacenter:
+    return Datacenter(name, city, continent, GeoPoint(lat, lon), "wowza")
+
+
+def _fastly(name: str, city: str, continent: str, lat: float, lon: float) -> Datacenter:
+    return Datacenter(name, city, continent, GeoPoint(lat, lon), "fastly")
+
+
+#: The 8 Wowza ingest datacenters (EC2 regions, mid-2015).
+WOWZA_DATACENTERS: tuple[Datacenter, ...] = (
+    _wowza("us-east-1", "Ashburn", "North America", 39.04, -77.49),
+    _wowza("us-west-1", "San Jose", "North America", 37.34, -121.89),
+    _wowza("us-west-2", "Seattle", "North America", 47.61, -122.33),
+    _wowza("eu-west-1", "Dublin", "Europe", 53.35, -6.26),
+    _wowza("eu-central-1", "Frankfurt", "Europe", 50.11, 8.68),
+    _wowza("ap-northeast-1", "Tokyo", "Asia", 35.68, 139.69),
+    _wowza("ap-southeast-1", "Singapore", "Asia", 1.35, 103.82),
+    _wowza("sa-east-1", "Sao Paulo", "South America", -23.55, -46.63),
+)
+
+#: The 23 Fastly edge POPs covering North America, Europe, Asia and Oceania.
+FASTLY_DATACENTERS: tuple[Datacenter, ...] = (
+    _fastly("IAD", "Ashburn", "North America", 39.04, -77.49),
+    _fastly("SJC", "San Jose", "North America", 37.34, -121.89),
+    _fastly("SEA", "Seattle", "North America", 47.61, -122.33),
+    _fastly("LAX", "Los Angeles", "North America", 34.05, -118.24),
+    _fastly("DEN", "Denver", "North America", 39.74, -104.99),
+    _fastly("DFW", "Dallas", "North America", 32.78, -96.80),
+    _fastly("ORD", "Chicago", "North America", 41.88, -87.63),
+    _fastly("JFK", "New York", "North America", 40.71, -74.01),
+    _fastly("ATL", "Atlanta", "North America", 33.75, -84.39),
+    _fastly("MIA", "Miami", "North America", 25.76, -80.19),
+    _fastly("YYZ", "Toronto", "North America", 43.65, -79.38),
+    _fastly("LHR", "London", "Europe", 51.51, -0.13),
+    _fastly("AMS", "Amsterdam", "Europe", 52.37, 4.90),
+    _fastly("FRA", "Frankfurt", "Europe", 50.11, 8.68),
+    _fastly("CDG", "Paris", "Europe", 48.86, 2.35),
+    _fastly("BMA", "Stockholm", "Europe", 59.33, 18.07),
+    _fastly("MAD", "Madrid", "Europe", 40.42, -3.70),
+    _fastly("TYO", "Tokyo", "Asia", 35.68, 139.69),
+    _fastly("ITM", "Osaka", "Asia", 34.69, 135.50),
+    _fastly("SIN", "Singapore", "Asia", 1.35, 103.82),
+    _fastly("HKG", "Hong Kong", "Asia", 22.32, 114.17),
+    _fastly("SYD", "Sydney", "Oceania", -33.87, 151.21),
+    _fastly("BNE", "Brisbane", "Oceania", -27.47, 153.03),
+)
+
+
+def nearest_datacenter(point: GeoPoint, datacenters: Sequence[Datacenter]) -> Datacenter:
+    """The datacenter geographically closest to ``point``.
+
+    This models both Periscope's nearest-Wowza broadcaster assignment and
+    Fastly's IP-anycast viewer routing (§5.3), which to first order routes
+    clients to the geographically closest POP.
+    """
+    if not datacenters:
+        raise ValueError("empty datacenter list")
+    return min(datacenters, key=lambda dc: dc.location.distance_km(point))
+
+
+def colocated_fastly(wowza: Datacenter, fastly_sites: Iterable[Datacenter] = FASTLY_DATACENTERS) -> Datacenter:
+    """The Fastly POP acting as gateway for a Wowza site.
+
+    Prefers a same-city POP; otherwise falls back to the nearest POP (the
+    Sao Paulo case, where Fastly had no South American presence and chunks
+    exit the continent).
+    """
+    for site in fastly_sites:
+        if site.city == wowza.city:
+            return site
+    return nearest_datacenter(wowza.location, tuple(fastly_sites))
+
+
+def colocated_pairs(
+    wowza_sites: Sequence[Datacenter] = WOWZA_DATACENTERS,
+    fastly_sites: Sequence[Datacenter] = FASTLY_DATACENTERS,
+) -> list[tuple[Datacenter, Datacenter]]:
+    """All (Wowza, Fastly) pairs sharing a city — 6 of 8 in the catalog."""
+    pairs = []
+    for wowza in wowza_sites:
+        for fastly in fastly_sites:
+            if wowza.city == fastly.city:
+                pairs.append((wowza, fastly))
+    return pairs
+
+
+#: Fastly's December 2015 expansion (paper footnote 6): Perth, Wellington
+#: and Sao Paulo went live after the measurement window.  With Sao Paulo
+#: online, the one Wowza DC without a same-continent POP gains a local
+#: gateway — the counterfactual the footnote implies.
+FASTLY_DATACENTERS_DEC2015: tuple[Datacenter, ...] = FASTLY_DATACENTERS + (
+    _fastly("PER", "Perth", "Oceania", -31.95, 115.86),
+    _fastly("WLG", "Wellington", "Oceania", -41.29, 174.78),
+    _fastly("GRU", "Sao Paulo", "South America", -23.55, -46.63),
+)

@@ -1,0 +1,58 @@
+"""Population centers used to place simulated users on the globe.
+
+Users (broadcasters and viewers) are drawn from a weighted mixture of major
+metro areas, then scattered with Gaussian noise so that nearest-datacenter
+assignment sees realistic geographic diversity.  Weights approximate the
+2015 geographic mix of Periscope's user base — heavy in North America and
+Europe, with significant Asia/Middle East usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.coordinates import GeoPoint
+
+
+@dataclass(frozen=True)
+class Region:
+    """A weighted population center."""
+
+    name: str
+    center: GeoPoint
+    weight: float
+    spread_deg: float = 2.0  # Gaussian scatter around the center, in degrees
+
+
+POPULATION_CENTERS: tuple[Region, ...] = (
+    Region("US East", GeoPoint(40.7, -74.0), 0.18),
+    Region("US Central", GeoPoint(41.9, -87.6), 0.08),
+    Region("US West", GeoPoint(34.1, -118.2), 0.14),
+    Region("Canada", GeoPoint(43.7, -79.4), 0.03),
+    Region("Brazil", GeoPoint(-23.6, -46.6), 0.05),
+    Region("UK", GeoPoint(51.5, -0.1), 0.08),
+    Region("Western Europe", GeoPoint(48.9, 2.4), 0.10),
+    Region("Turkey", GeoPoint(41.0, 29.0), 0.07),
+    Region("Middle East", GeoPoint(25.2, 55.3), 0.05),
+    Region("Japan", GeoPoint(35.7, 139.7), 0.07),
+    Region("Southeast Asia", GeoPoint(1.35, 103.8), 0.06),
+    Region("India", GeoPoint(19.1, 72.9), 0.04),
+    Region("Australia", GeoPoint(-33.9, 151.2), 0.05),
+)
+
+
+def sample_user_location(
+    rng: np.random.Generator,
+    regions: tuple[Region, ...] = POPULATION_CENTERS,
+) -> GeoPoint:
+    """Draw one user location from the regional mixture."""
+    weights = np.array([region.weight for region in regions])
+    weights = weights / weights.sum()
+    region = regions[int(rng.choice(len(regions), p=weights))]
+    lat = float(np.clip(rng.normal(region.center.lat, region.spread_deg), -89.9, 89.9))
+    lon = float(rng.normal(region.center.lon, region.spread_deg))
+    # Wrap longitude into [-180, 180].
+    lon = (lon + 180.0) % 360.0 - 180.0
+    return GeoPoint(lat, lon)

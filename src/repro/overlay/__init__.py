@@ -1,0 +1,26 @@
+"""The paper's proposed alternative delivery architecture (§8).
+
+The discussion section sketches a way out of the scalability/latency
+tension: "a hierarchy of geographically clustered forwarding servers"
+where a viewer's join request travels up the hierarchy setting up a
+reverse forwarding path, after which video frames are *pushed* down the
+tree "without per-viewer state [at the origin] or periodic polling" — a
+receiver-driven overlay multicast in the spirit of Scribe and Akamai's
+streaming CDN, but latency-aware so interactivity survives.
+
+This package implements that design on the same substrates as the rest of
+the reproduction, so it can be compared head-to-head against the RTMP and
+HLS tiers (see ``benchmarks/test_ablation_overlay.py`` and
+``examples/overlay_multicast.py``).
+"""
+
+from repro.overlay.tree import ForwardingNode, OverlayTree, build_geographic_tree
+from repro.overlay.session import OverlayMulticastSession, OverlayStats
+
+__all__ = [
+    "ForwardingNode",
+    "OverlayTree",
+    "build_geographic_tree",
+    "OverlayMulticastSession",
+    "OverlayStats",
+]

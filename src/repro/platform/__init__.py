@@ -1,0 +1,39 @@
+"""A simulated personalized livestreaming service.
+
+This package stands in for the live Periscope/Meerkat backends the paper
+measured (both services are defunct).  It implements the application-level
+behaviour the paper's crawlers interacted with: user registration with
+sequential IDs, broadcast lifecycle, the global broadcast list API that
+returns 50 random active broadcasts, viewer joins with the RTMP-to-HLS
+spillover at ~100 viewers, the 100-commenter cap, hearts, and follower
+notifications.
+"""
+
+from repro.platform.apps import (
+    AppProfile,
+    FACEBOOK_LIVE_PROFILE,
+    MEERKAT_PROFILE,
+    PERISCOPE_PROFILE,
+)
+from repro.platform.broadcasts import Broadcast, BroadcastState, Comment, Heart, ViewRecord
+from repro.platform.service import GlobalListPage, LivestreamService
+from repro.platform.users import User, UserRegistry
+from repro.platform.engagement import EngagementModel, ViewerSessionPlan
+
+__all__ = [
+    "AppProfile",
+    "PERISCOPE_PROFILE",
+    "MEERKAT_PROFILE",
+    "FACEBOOK_LIVE_PROFILE",
+    "Broadcast",
+    "BroadcastState",
+    "Comment",
+    "Heart",
+    "ViewRecord",
+    "LivestreamService",
+    "GlobalListPage",
+    "User",
+    "UserRegistry",
+    "EngagementModel",
+    "ViewerSessionPlan",
+]

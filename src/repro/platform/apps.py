@@ -1,0 +1,107 @@
+"""Per-application configuration profiles.
+
+Each profile captures the protocol and policy constants the paper measured
+or reverse-engineered for one service (§4.1, §5):
+
+* Periscope: RTMP ingest to Wowza, RTMP fan-out to the first ~100 viewers,
+  HLS via Fastly beyond that; 3 s chunks; client polling 2–2.8 s; 1 s RTMP
+  and 9 s HLS pre-buffer; 100-commenter cap; plaintext RTMP for public
+  broadcasts (the §7 vulnerability).
+* Meerkat: HTTP POST ingest to EC2, HLS-only distribution with 3.6 s
+  chunks, no RTMP fan-out tier.
+* Facebook Live: RTMPS (encrypted) ingest and fan-out, HLS beyond the
+  threshold — included as the paper's secure-by-design comparison point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Protocol/policy constants for one livestreaming application."""
+
+    name: str
+    #: Seconds of video per HLS chunk (Periscope 3.0, Meerkat 3.6, VoD 10).
+    chunk_duration_s: float
+    #: Video frame interval; the paper reports ~40 ms frames (25 fps).
+    frame_interval_s: float
+    #: Client HLS polling interval range, seconds.
+    polling_interval_range_s: tuple[float, float]
+    #: Pre-buffer target for RTMP viewers, seconds of content.
+    rtmp_prebuffer_s: float
+    #: Pre-buffer target for HLS viewers, seconds of content.
+    hls_prebuffer_s: float
+    #: Viewers beyond this count are sent to the HLS/CDN tier.
+    rtmp_viewer_threshold: int
+    #: Only the first N viewers may comment.
+    comment_cap: int
+    #: Upload (ingest) protocol name: "rtmp", "rtmps" or "http-post".
+    ingest_protocol: str
+    #: Whether the video channel is encrypted end to end.
+    encrypted_video: bool
+    #: Whether a low-latency push tier (RTMP) exists at all.
+    has_push_tier: bool
+
+    def __post_init__(self) -> None:
+        if self.chunk_duration_s <= 0:
+            raise ValueError("chunk_duration_s must be positive")
+        if self.frame_interval_s <= 0:
+            raise ValueError("frame_interval_s must be positive")
+        low, high = self.polling_interval_range_s
+        if not 0 < low <= high:
+            raise ValueError("polling interval range must satisfy 0 < low <= high")
+        if self.rtmp_viewer_threshold < 0 or self.comment_cap < 0:
+            raise ValueError("thresholds must be non-negative")
+
+    @property
+    def frames_per_chunk(self) -> int:
+        """75 for Periscope's 3 s chunks of 40 ms frames."""
+        return round(self.chunk_duration_s / self.frame_interval_s)
+
+
+PERISCOPE_PROFILE = AppProfile(
+    name="Periscope",
+    chunk_duration_s=3.0,
+    frame_interval_s=0.040,
+    polling_interval_range_s=(2.0, 2.8),
+    rtmp_prebuffer_s=1.0,
+    hls_prebuffer_s=9.0,
+    rtmp_viewer_threshold=100,
+    comment_cap=100,
+    ingest_protocol="rtmp",
+    encrypted_video=False,
+    has_push_tier=True,
+)
+
+MEERKAT_PROFILE = AppProfile(
+    name="Meerkat",
+    chunk_duration_s=3.6,
+    frame_interval_s=0.040,
+    polling_interval_range_s=(2.0, 2.8),
+    rtmp_prebuffer_s=1.0,
+    hls_prebuffer_s=9.0,
+    rtmp_viewer_threshold=0,  # HLS-only distribution
+    comment_cap=1_000_000,  # Meerkat commented via Tweets; effectively uncapped
+    ingest_protocol="http-post",
+    encrypted_video=False,
+    has_push_tier=False,
+)
+
+FACEBOOK_LIVE_PROFILE = AppProfile(
+    name="FacebookLive",
+    chunk_duration_s=3.0,
+    frame_interval_s=0.040,
+    polling_interval_range_s=(2.0, 2.8),
+    rtmp_prebuffer_s=1.0,
+    hls_prebuffer_s=9.0,
+    rtmp_viewer_threshold=100,
+    comment_cap=1_000_000,
+    ingest_protocol="rtmps",
+    encrypted_video=True,
+    has_push_tier=True,
+)
+
+#: Apple's video-on-demand HLS chunk length, the paper's reference point.
+APPLE_VOD_CHUNK_S = 10.0

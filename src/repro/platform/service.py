@@ -1,0 +1,205 @@
+"""The livestreaming service facade.
+
+This is the API surface the paper's crawler spoke to: start/end broadcasts,
+join as viewer (with the RTMP-to-HLS spillover policy), comment (capped at
+the first 100 commenters), heart, and the global broadcast list that
+returns 50 randomly-selected active broadcasts per query (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.platform.apps import AppProfile, PERISCOPE_PROFILE
+from repro.platform.broadcasts import (
+    Broadcast,
+    Comment,
+    DeliveryTier,
+    Heart,
+    ViewRecord,
+)
+from repro.platform.users import UserRegistry
+
+
+class ServiceError(Exception):
+    """Raised on invalid API usage (joining a dead broadcast, etc.)."""
+
+
+@dataclass(frozen=True)
+class GlobalListPage:
+    """One response from the global broadcast list API."""
+
+    time: float
+    broadcast_ids: tuple[int, ...]
+
+
+@dataclass
+class LivestreamService:
+    """In-memory implementation of the application backend.
+
+    The service is deliberately small: the heavy lifting (video transport)
+    lives in :mod:`repro.cdn`; this class owns users, broadcast metadata and
+    the policy decisions (spillover threshold, comment cap, list sampling).
+    """
+
+    profile: AppProfile = field(default_factory=lambda: PERISCOPE_PROFILE)
+    global_list_size: int = 50
+    users: UserRegistry = field(default_factory=UserRegistry)
+    _broadcasts: dict[int, Broadcast] = field(default_factory=dict)
+    _live_ids: list[int] = field(default_factory=list)
+    _live_positions: dict[int, int] = field(default_factory=dict)
+    _next_broadcast_id: int = 1
+
+    # -- broadcast lifecycle -------------------------------------------
+
+    def start_broadcast(
+        self,
+        broadcaster_id: int,
+        time: float,
+        is_private: bool = False,
+        location: Optional[object] = None,
+    ) -> Broadcast:
+        if broadcaster_id not in self.users:
+            raise ServiceError(f"unknown broadcaster {broadcaster_id}")
+        broadcast = Broadcast(
+            broadcast_id=self._next_broadcast_id,
+            broadcaster_id=broadcaster_id,
+            start_time=time,
+            app_name=self.profile.name,
+            is_private=is_private,
+            location=location,
+        )
+        self._next_broadcast_id += 1
+        self._broadcasts[broadcast.broadcast_id] = broadcast
+        self._live_positions[broadcast.broadcast_id] = len(self._live_ids)
+        self._live_ids.append(broadcast.broadcast_id)
+        return broadcast
+
+    def end_broadcast(self, broadcast_id: int, time: float) -> Broadcast:
+        broadcast = self.get_broadcast(broadcast_id)
+        broadcast.end(time)
+        # O(1) removal: swap with the last live id.
+        position = self._live_positions.pop(broadcast_id)
+        last_id = self._live_ids[-1]
+        self._live_ids[position] = last_id
+        self._live_ids.pop()
+        if last_id != broadcast_id:
+            self._live_positions[last_id] = position
+        return broadcast
+
+    def get_broadcast(self, broadcast_id: int) -> Broadcast:
+        if broadcast_id not in self._broadcasts:
+            raise ServiceError(f"unknown broadcast {broadcast_id}")
+        return self._broadcasts[broadcast_id]
+
+    @property
+    def live_broadcast_count(self) -> int:
+        return len(self._live_ids)
+
+    @property
+    def total_broadcast_count(self) -> int:
+        return len(self._broadcasts)
+
+    def all_broadcasts(self) -> list[Broadcast]:
+        return list(self._broadcasts.values())
+
+    # -- viewer actions --------------------------------------------------
+
+    def join(self, broadcast_id: int, viewer_id: int, time: float, web: bool = False) -> ViewRecord:
+        """Join a broadcast; tier assignment implements the spillover policy.
+
+        The first ``rtmp_viewer_threshold`` mobile viewers connect to the
+        ingest server over RTMP; later arrivals (and all web viewers) get
+        HLS from the edge CDN.
+        """
+        broadcast = self.get_broadcast(broadcast_id)
+        if not broadcast.is_live:
+            raise ServiceError(f"broadcast {broadcast_id} has ended")
+        if time < broadcast.start_time:
+            raise ServiceError("cannot join before the broadcast starts")
+        if web:
+            tier = DeliveryTier.WEB
+        elif (
+            self.profile.has_push_tier
+            and broadcast.rtmp_view_count < self.profile.rtmp_viewer_threshold
+        ):
+            tier = DeliveryTier.RTMP
+        else:
+            tier = DeliveryTier.HLS
+        record = ViewRecord(viewer_id=viewer_id, join_time=time, tier=tier)
+        broadcast.views.append(record)
+        return record
+
+    def can_comment(self, broadcast_id: int, viewer_id: int) -> bool:
+        """True if the viewer is within the commenter cap.
+
+        Existing commenters keep the right; new commenters are admitted
+        while fewer than ``comment_cap`` distinct users have commented.
+        """
+        broadcast = self.get_broadcast(broadcast_id)
+        if viewer_id in broadcast.commenter_ids:
+            return True
+        return len(broadcast.commenter_ids) < self.profile.comment_cap
+
+    def comment(self, broadcast_id: int, viewer_id: int, time: float) -> bool:
+        """Post a comment; returns False when rejected by the cap."""
+        broadcast = self.get_broadcast(broadcast_id)
+        if not broadcast.is_live:
+            raise ServiceError(f"broadcast {broadcast_id} has ended")
+        if not self.can_comment(broadcast_id, viewer_id):
+            return False
+        broadcast.commenter_ids.add(viewer_id)
+        broadcast.comments.append(Comment(viewer_id=viewer_id, time=time))
+        return True
+
+    def heart(self, broadcast_id: int, viewer_id: int, time: float) -> None:
+        """Send a heart — all viewers may heart, without limit."""
+        broadcast = self.get_broadcast(broadcast_id)
+        if not broadcast.is_live:
+            raise ServiceError(f"broadcast {broadcast_id} has ended")
+        broadcast.hearts.append(Heart(viewer_id=viewer_id, time=time))
+
+    # -- discovery --------------------------------------------------------
+
+    def global_list(self, time: float, rng: np.random.Generator) -> GlobalListPage:
+        """The global list API: up to 50 random *public* active broadcasts.
+
+        Private broadcasts never appear — the paper's crawl (and dataset)
+        covers public broadcasts only.
+        """
+        live = [
+            broadcast_id
+            for broadcast_id in self._live_ids
+            if not self._broadcasts[broadcast_id].is_private
+        ]
+        if len(live) <= self.global_list_size:
+            chosen = tuple(live)
+        else:
+            indices = rng.choice(len(live), size=self.global_list_size, replace=False)
+            chosen = tuple(live[i] for i in indices)
+        return GlobalListPage(time=time, broadcast_ids=chosen)
+
+    # -- viewer lifecycle ---------------------------------------------------
+
+    def leave(self, broadcast_id: int, viewer_id: int, time: float) -> bool:
+        """Mark the viewer's most recent open view as ended.
+
+        Returns False when the viewer has no open view on this broadcast.
+        """
+        broadcast = self.get_broadcast(broadcast_id)
+        for index in range(len(broadcast.views) - 1, -1, -1):
+            view = broadcast.views[index]
+            if view.viewer_id == viewer_id and view.leave_time is None:
+                if time < view.join_time:
+                    raise ServiceError("cannot leave before joining")
+                broadcast.views[index] = ViewRecord(
+                    viewer_id=view.viewer_id,
+                    join_time=view.join_time,
+                    tier=view.tier,
+                    leave_time=time,
+                )
+                return True
+        return False

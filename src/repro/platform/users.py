@@ -1,0 +1,122 @@
+"""User registry with sequential IDs.
+
+Periscope assigned user IDs sequentially at the time of the study — the
+paper exploited this to count 12M registered users from the highest
+observed ID (§3.1, footnote 5).  In September 2015 Periscope switched to
+13-character hash strings, closing that side channel.  The registry
+reproduces both schemes (and the fact that the estimator only works for
+the sequential one) and provides the anonymization hook the crawler
+applies before analysis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.geo.coordinates import GeoPoint
+
+#: Alphabet of Periscope's post-September-2015 public IDs.
+_HASH_ALPHABET = "23456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+
+
+@dataclass
+class User:
+    """A registered user of the simulated service."""
+
+    user_id: int
+    registered_day: float
+    location: Optional[GeoPoint] = None
+    is_anonymous_web: bool = False
+
+    def anonymized_id(self, salt: str = "repro") -> str:
+        """Stable one-way pseudonym, as the paper's IRB protocol required."""
+        digest = hashlib.sha256(f"{salt}:{self.user_id}".encode("utf-8")).hexdigest()
+        return digest[:16]
+
+    @property
+    def public_hash_id(self) -> str:
+        """The 13-character hash-string ID of the post-Sept-2015 scheme."""
+        digest = hashlib.sha256(f"public:{self.user_id}".encode("utf-8")).digest()
+        chars = [_HASH_ALPHABET[b % len(_HASH_ALPHABET)] for b in digest[:13]]
+        return "".join(chars)
+
+
+@dataclass
+class UserRegistry:
+    """Allocates users with strictly increasing internal IDs.
+
+    ``id_scheme`` controls the *public* identifier: ``"sequential"``
+    exposes the raw counter (pre-September-2015 behaviour — the paper
+    counted total users from the maximum observed ID), ``"hash"`` exposes
+    13-character hash strings, which defeats that estimator.
+    """
+
+    id_scheme: str = "sequential"
+    _users: dict[int, User] = field(default_factory=dict)
+    _next_id: int = 1
+
+    def __post_init__(self) -> None:
+        if self.id_scheme not in ("sequential", "hash"):
+            raise ValueError(f"unknown id scheme {self.id_scheme!r}")
+
+    def register(
+        self,
+        registered_day: float = 0.0,
+        location: Optional[GeoPoint] = None,
+        is_anonymous_web: bool = False,
+    ) -> User:
+        """Create the next user; IDs are sequential from 1."""
+        user = User(
+            user_id=self._next_id,
+            registered_day=registered_day,
+            location=location,
+            is_anonymous_web=is_anonymous_web,
+        )
+        self._users[user.user_id] = user
+        self._next_id += 1
+        return user
+
+    def register_many(self, count: int, registered_day: float = 0.0) -> list[User]:
+        return [self.register(registered_day=registered_day) for _ in range(count)]
+
+    def get(self, user_id: int) -> User:
+        if user_id not in self._users:
+            raise KeyError(f"unknown user {user_id}")
+        return self._users[user_id]
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._users
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    def __iter__(self) -> Iterator[User]:
+        return iter(self._users.values())
+
+    def public_id(self, user_id: int) -> str:
+        """The identifier an observer (or crawler) sees for a user."""
+        user = self.get(user_id)
+        if self.id_scheme == "sequential":
+            return str(user.user_id)
+        return user.public_hash_id
+
+    def estimate_total_users_from_observations(
+        self, observed_public_ids: list[str]
+    ) -> Optional[int]:
+        """The paper's §3.1 estimator: max observed sequential ID.
+
+        Returns None under the hash scheme — the estimator stops working,
+        exactly why Periscope switched.
+        """
+        if self.id_scheme != "sequential":
+            return None
+        if not observed_public_ids:
+            return 0
+        return max(int(value) for value in observed_public_ids)
+
+    @property
+    def max_user_id(self) -> int:
+        """Highest allocated ID — the paper's estimator of total users."""
+        return self._next_id - 1

@@ -1,0 +1,115 @@
+"""Video frames and chunks.
+
+The paper's unit of RTMP delivery is a ~40 ms video frame; HLS groups
+~75 frames into a ~3 s chunk (§5.2).  Keyframes carry a broadcaster-side
+capture timestamp in their metadata — the paper used it as timestamp ① / ⑤
+of the delay breakdown, and the §7 defense embeds signatures next to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class VideoFrame:
+    """One encoded video frame.
+
+    ``capture_time`` is the broadcaster-device timestamp embedded in the
+    stream metadata; ``payload`` stands in for the encoded bits (the
+    security experiments replace it).
+    """
+
+    sequence: int
+    capture_time: float
+    duration_s: float = 0.040
+    is_keyframe: bool = False
+    payload: bytes = b""
+    signature: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.sequence < 0:
+            raise ValueError("sequence must be non-negative")
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+
+    def with_payload(self, payload: bytes) -> "VideoFrame":
+        """Copy with a replaced payload (used by the tampering attack)."""
+        return VideoFrame(
+            sequence=self.sequence,
+            capture_time=self.capture_time,
+            duration_s=self.duration_s,
+            is_keyframe=self.is_keyframe,
+            payload=payload,
+            signature=self.signature,
+        )
+
+    def with_signature(self, signature: bytes) -> "VideoFrame":
+        """Copy with an embedded integrity signature (the §7.2 defense)."""
+        return VideoFrame(
+            sequence=self.sequence,
+            capture_time=self.capture_time,
+            duration_s=self.duration_s,
+            is_keyframe=self.is_keyframe,
+            payload=self.payload,
+            signature=signature,
+        )
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A group of consecutive frames served as one HLS unit."""
+
+    index: int
+    frames: tuple[VideoFrame, ...]
+    completed_time: float  # when the last frame reached the ingest server
+
+    def __post_init__(self) -> None:
+        if not self.frames:
+            raise ValueError("chunk must contain at least one frame")
+        sequences = [frame.sequence for frame in self.frames]
+        if sequences != sorted(sequences):
+            raise ValueError("chunk frames must be in sequence order")
+
+    @property
+    def duration_s(self) -> float:
+        return sum(frame.duration_s for frame in self.frames)
+
+    @property
+    def first_capture_time(self) -> float:
+        """Capture time of the first frame (timestamp ⑤ of the breakdown)."""
+        return self.frames[0].capture_time
+
+    @property
+    def first_sequence(self) -> int:
+        return self.frames[0].sequence
+
+
+def frames_to_chunks(
+    frames: Sequence[VideoFrame],
+    frames_per_chunk: int,
+    arrival_times: Optional[Sequence[float]] = None,
+) -> list[Chunk]:
+    """Group frames into fixed-size chunks.
+
+    ``arrival_times`` gives each frame's ingest-arrival time; a chunk
+    completes when its last frame arrives.  Without arrival times the
+    capture time of the last frame is used.  A trailing partial chunk is
+    emitted (broadcast end flushes the chunker).
+    """
+    if frames_per_chunk <= 0:
+        raise ValueError("frames_per_chunk must be positive")
+    if arrival_times is not None and len(arrival_times) != len(frames):
+        raise ValueError("arrival_times length must match frames")
+    chunks: list[Chunk] = []
+    for start in range(0, len(frames), frames_per_chunk):
+        group = tuple(frames[start : start + frames_per_chunk])
+        last_index = start + len(group) - 1
+        completed = (
+            arrival_times[last_index]
+            if arrival_times is not None
+            else group[-1].capture_time + group[-1].duration_s
+        )
+        chunks.append(Chunk(index=len(chunks), frames=group, completed_time=completed))
+    return chunks

@@ -1,0 +1,121 @@
+"""M3U8 live playlists: the HLS chunklist's wire format.
+
+The paper's HLS crawler fetched and parsed real M3U8 playlists from
+Fastly every 0.1 s.  This module renders a :class:`~repro.protocols.hls.
+Chunklist` as an RFC 8216-style live media playlist and parses one back —
+so the simulated crawler exchanges the same artifact a real one would,
+and playlist-level behaviours (media-sequence advancement as the live
+window slides, target duration) are faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+from repro.protocols.hls import Chunklist
+
+
+class M3u8ParseError(Exception):
+    """Raised on malformed playlist text."""
+
+
+@dataclass(frozen=True)
+class MediaPlaylist:
+    """The parsed form of a live media playlist."""
+
+    version: int
+    target_duration_s: int
+    media_sequence: int
+    segments: tuple[tuple[float, str], ...]  # (duration, uri)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.segments)
+
+    def latest_chunk_index(self) -> int | None:
+        if not self.segments:
+            return None
+        return self.media_sequence + len(self.segments) - 1
+
+
+def render_chunklist(
+    chunklist: Chunklist,
+    broadcast_id: int,
+    version: int = 3,
+) -> str:
+    """Render a chunklist as live-playlist text.
+
+    The media sequence is the index of the oldest chunk still in the
+    window — it advances as the window slides, which is how real clients
+    detect dropped history.  Live playlists carry no ``#EXT-X-ENDLIST``.
+    """
+    entries = chunklist.entries
+    media_sequence = entries[0].chunk_index if entries else 0
+    target = max((entry.duration_s for entry in entries), default=1.0)
+    lines = [
+        "#EXTM3U",
+        f"#EXT-X-VERSION:{version}",
+        f"#EXT-X-TARGETDURATION:{max(1, math.ceil(target))}",
+        f"#EXT-X-MEDIA-SEQUENCE:{media_sequence}",
+    ]
+    for entry in entries:
+        lines.append(f"#EXTINF:{entry.duration_s:.3f},")
+        lines.append(f"chunk_{broadcast_id}_{entry.chunk_index}.ts")
+    return "\n".join(lines) + "\n"
+
+
+def parse_playlist(text: str) -> MediaPlaylist:
+    """Parse live-playlist text back into a :class:`MediaPlaylist`."""
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    if not lines or lines[0] != "#EXTM3U":
+        raise M3u8ParseError("missing #EXTM3U header")
+    version = 1
+    target = None
+    media_sequence = 0
+    segments: list[tuple[float, str]] = []
+    pending_duration: float | None = None
+    for line in lines[1:]:
+        if line.startswith("#EXT-X-VERSION:"):
+            version = int(line.split(":", 1)[1])
+        elif line.startswith("#EXT-X-TARGETDURATION:"):
+            target = int(line.split(":", 1)[1])
+        elif line.startswith("#EXT-X-MEDIA-SEQUENCE:"):
+            media_sequence = int(line.split(":", 1)[1])
+        elif line.startswith("#EXTINF:"):
+            payload = line.split(":", 1)[1].rstrip(",")
+            try:
+                pending_duration = float(payload.split(",")[0])
+            except ValueError as error:
+                raise M3u8ParseError(f"bad EXTINF duration: {line}") from error
+        elif line.startswith("#EXT-X-ENDLIST"):
+            raise M3u8ParseError("live playlist must not carry ENDLIST")
+        elif line.startswith("#"):
+            continue  # unknown tags are ignored, per spec
+        else:
+            if pending_duration is None:
+                raise M3u8ParseError(f"segment URI without EXTINF: {line}")
+            segments.append((pending_duration, line))
+            pending_duration = None
+    if target is None:
+        raise M3u8ParseError("missing #EXT-X-TARGETDURATION")
+    if pending_duration is not None:
+        raise M3u8ParseError("dangling EXTINF without a URI")
+    return MediaPlaylist(
+        version=version,
+        target_duration_s=target,
+        media_sequence=media_sequence,
+        segments=tuple(segments),
+    )
+
+
+def playlist_to_chunklist(playlist: MediaPlaylist, now: float = 0.0) -> Chunklist:
+    """Rebuild a :class:`Chunklist` view from parsed playlist text.
+
+    Availability timestamps are not carried on the wire; the caller's
+    fetch time stamps every entry (what a crawler actually knows).
+    """
+    chunklist = Chunklist(max_entries=max(len(playlist.segments), 1))
+    for offset, (duration, _uri) in enumerate(playlist.segments):
+        chunklist.append(playlist.media_sequence + offset, duration, now)
+    return chunklist

@@ -1,0 +1,209 @@
+"""A simplified RTMP wire format.
+
+The §7 vulnerability is that Periscope's public broadcasts travel as
+*plaintext, unauthenticated* RTMP: the broadcast token is visible in the
+connect message and video payloads can be rewritten in flight.  To make the
+attack (and the defense) concrete, this module defines an actual binary
+packet format — a simplification of Adobe's RTMP that keeps the fields the
+attack manipulates: packet type, broadcast token, frame sequence, capture
+timestamp, optional signature, and payload.
+
+Layout (big-endian)::
+
+    magic     2 bytes   0x52 0x4D ("RM")
+    version   1 byte
+    type      1 byte    1=connect, 2=video, 3=ack, 4=close
+    token_len 2 bytes
+    token     token_len bytes (UTF-8, PLAINTEXT — the vulnerability)
+    sequence  4 bytes
+    timestamp 8 bytes   IEEE-754 double, capture time
+    flags     1 byte    bit0 = keyframe, bit1 = has signature
+    sig_len   2 bytes   (present only if bit1)
+    signature sig_len bytes
+    body_len  4 bytes
+    body      body_len bytes
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.protocols.frames import VideoFrame
+
+MAGIC = b"RM"
+VERSION = 1
+
+_HEADER = struct.Struct(">2sBBH")
+_SEQ_TS_FLAGS = struct.Struct(">IdB")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+
+
+class RtmpParseError(Exception):
+    """Raised on malformed RTMP bytes."""
+
+
+class RtmpPacketType(enum.IntEnum):
+    """The packet kinds of the simplified wire format."""
+
+    CONNECT = 1
+    VIDEO = 2
+    ACK = 3
+    CLOSE = 4
+
+
+@dataclass(frozen=True)
+class RtmpPacket:
+    """One parsed RTMP packet."""
+
+    packet_type: RtmpPacketType
+    token: str
+    sequence: int = 0
+    timestamp: float = 0.0
+    is_keyframe: bool = False
+    signature: Optional[bytes] = None
+    body: bytes = b""
+
+    def encode(self) -> bytes:
+        """Serialize to wire bytes."""
+        token_bytes = self.token.encode("utf-8")
+        flags = (1 if self.is_keyframe else 0) | (2 if self.signature is not None else 0)
+        parts = [
+            _HEADER.pack(MAGIC, VERSION, int(self.packet_type), len(token_bytes)),
+            token_bytes,
+            _SEQ_TS_FLAGS.pack(self.sequence, self.timestamp, flags),
+        ]
+        if self.signature is not None:
+            parts.append(_U16.pack(len(self.signature)))
+            parts.append(self.signature)
+        parts.append(_U32.pack(len(self.body)))
+        parts.append(self.body)
+        return b"".join(parts)
+
+    def with_body(self, body: bytes) -> "RtmpPacket":
+        """Copy with the video payload replaced (the attack primitive)."""
+        return RtmpPacket(
+            packet_type=self.packet_type,
+            token=self.token,
+            sequence=self.sequence,
+            timestamp=self.timestamp,
+            is_keyframe=self.is_keyframe,
+            signature=self.signature,
+            body=body,
+        )
+
+    @classmethod
+    def connect(cls, token: str) -> "RtmpPacket":
+        return cls(packet_type=RtmpPacketType.CONNECT, token=token)
+
+    @classmethod
+    def close(cls, token: str) -> "RtmpPacket":
+        return cls(packet_type=RtmpPacketType.CLOSE, token=token)
+
+    @classmethod
+    def from_frame(cls, token: str, frame: VideoFrame) -> "RtmpPacket":
+        return cls(
+            packet_type=RtmpPacketType.VIDEO,
+            token=token,
+            sequence=frame.sequence,
+            timestamp=frame.capture_time,
+            is_keyframe=frame.is_keyframe,
+            signature=frame.signature,
+            body=frame.payload,
+        )
+
+    def to_frame(self, duration_s: float = 0.040) -> VideoFrame:
+        if self.packet_type is not RtmpPacketType.VIDEO:
+            raise ValueError(f"not a video packet: {self.packet_type}")
+        return VideoFrame(
+            sequence=self.sequence,
+            capture_time=self.timestamp,
+            duration_s=duration_s,
+            is_keyframe=self.is_keyframe,
+            payload=self.body,
+            signature=self.signature,
+        )
+
+
+def parse_rtmp_packet(data: bytes) -> RtmpPacket:
+    """Parse wire bytes back into an :class:`RtmpPacket`.
+
+    This is the parser the paper's authors "wrote [their] own RTMP parser"
+    for — the attack uses it to locate and replace video payloads.
+    """
+    try:
+        magic, version, type_value, token_len = _HEADER.unpack_from(data, 0)
+    except struct.error as error:
+        raise RtmpParseError(f"truncated header: {error}") from error
+    if magic != MAGIC:
+        raise RtmpParseError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise RtmpParseError(f"unsupported version {version}")
+    try:
+        packet_type = RtmpPacketType(type_value)
+    except ValueError as error:
+        raise RtmpParseError(f"unknown packet type {type_value}") from error
+
+    offset = _HEADER.size
+    if len(data) < offset + token_len:
+        raise RtmpParseError("truncated token")
+    token = data[offset : offset + token_len].decode("utf-8")
+    offset += token_len
+
+    try:
+        sequence, timestamp, flags = _SEQ_TS_FLAGS.unpack_from(data, offset)
+    except struct.error as error:
+        raise RtmpParseError(f"truncated frame header: {error}") from error
+    offset += _SEQ_TS_FLAGS.size
+
+    signature: Optional[bytes] = None
+    if flags & 2:
+        try:
+            (sig_len,) = _U16.unpack_from(data, offset)
+        except struct.error as error:
+            raise RtmpParseError(f"truncated signature length: {error}") from error
+        offset += _U16.size
+        if len(data) < offset + sig_len:
+            raise RtmpParseError("truncated signature")
+        signature = data[offset : offset + sig_len]
+        offset += sig_len
+
+    try:
+        (body_len,) = _U32.unpack_from(data, offset)
+    except struct.error as error:
+        raise RtmpParseError(f"truncated body length: {error}") from error
+    offset += _U32.size
+    if len(data) < offset + body_len:
+        raise RtmpParseError("truncated body")
+    body = data[offset : offset + body_len]
+    if len(data) != offset + body_len:
+        raise RtmpParseError("trailing bytes after body")
+
+    return RtmpPacket(
+        packet_type=packet_type,
+        token=token,
+        sequence=sequence,
+        timestamp=timestamp,
+        is_keyframe=bool(flags & 1),
+        signature=signature,
+        body=body,
+    )
+
+
+@dataclass(frozen=True)
+class RtmpHandshake:
+    """Connection setup metadata.
+
+    Periscope hands the broadcast token to the client over HTTPS, but the
+    client then presents it to Wowza *in plaintext* inside the RTMP connect
+    packet — issue (1) of §7.1.
+    """
+
+    token: str
+    encrypted: bool = False  # True only for RTMPS (private broadcasts / FB Live)
+
+    def connect_packet(self) -> RtmpPacket:
+        return RtmpPacket.connect(self.token)

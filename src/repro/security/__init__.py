@@ -1,0 +1,42 @@
+"""Stream-hijacking attack and defense (§7).
+
+Periscope and Meerkat sent public-broadcast video as plaintext,
+unauthenticated RTMP.  This package reproduces the paper's proof of
+concept end to end on real packet bytes: a simulated WiFi LAN with ARP, an
+ARP-spoofing man-in-the-middle, an RTMP parser that swaps video payloads
+for black frames, and the proposed lightweight defense — per-frame
+signatures embedded in the stream metadata, with selective and chained
+variants that reduce signing overhead.
+"""
+
+from repro.security.lan import EthernetFrame, IpPacket, Lan, LanHost, BROADCAST_MAC
+from repro.security.arp_spoof import ArpSpoofer
+from repro.security.tamper import BLACK_FRAME_PAYLOAD, RtmpTamperer
+from repro.security.signing import (
+    ChainedSigner,
+    SelectiveSigner,
+    SigningCostModel,
+    StreamKeyExchange,
+    StreamSigner,
+    StreamVerifier,
+)
+from repro.security.experiment import TamperExperiment, TamperExperimentResult
+
+__all__ = [
+    "Lan",
+    "LanHost",
+    "IpPacket",
+    "EthernetFrame",
+    "BROADCAST_MAC",
+    "ArpSpoofer",
+    "RtmpTamperer",
+    "BLACK_FRAME_PAYLOAD",
+    "StreamSigner",
+    "StreamVerifier",
+    "SelectiveSigner",
+    "ChainedSigner",
+    "SigningCostModel",
+    "StreamKeyExchange",
+    "TamperExperiment",
+    "TamperExperimentResult",
+]

@@ -1,0 +1,93 @@
+"""ARP-spoofing man-in-the-middle (§7.1).
+
+The attacker joins the victim's WiFi network (no control of the AP
+needed), sends falsified ARP replies so the victim maps the gateway's IP
+to the attacker's MAC, and thereafter receives the victim's upstream
+traffic.  Intercepted packets run through a ``transform`` (the RTMP
+tamperer) and are silently re-forwarded to the real gateway — the victim
+observes nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.security.lan import (
+    ArpMessage,
+    ArpOp,
+    EthernetFrame,
+    IpPacket,
+    Lan,
+    LanHost,
+)
+
+#: Transforms an intercepted payload; returning the input forwards untouched.
+PayloadTransform = Callable[[bytes], bytes]
+
+
+class ArpSpoofer(LanHost):
+    """An attacker host that poisons ARP caches and relays traffic."""
+
+    def __init__(
+        self,
+        name: str,
+        mac: str,
+        ip: str,
+        lan: Lan,
+        transform: Optional[PayloadTransform] = None,
+    ) -> None:
+        super().__init__(name, mac, ip, lan)
+        self.transform = transform
+        #: IPs whose traffic we impersonate -> the true MAC to relay to.
+        self._impersonated: dict[str, str] = {}
+        self.intercepted: list[IpPacket] = []
+        self.relayed: list[IpPacket] = []
+
+    def poison(self, victim: LanHost, target_ip: str) -> None:
+        """Tell ``victim`` that ``target_ip`` lives at the attacker's MAC.
+
+        Records the true MAC first so intercepted traffic can be relayed.
+        """
+        true_mac = victim.arp_table.get(target_ip)
+        if true_mac is None:
+            owner = self.lan.host_by_ip(target_ip)
+            if owner is None:
+                raise RuntimeError(f"cannot find true owner of {target_ip}")
+            true_mac = owner.mac
+        self._impersonated[target_ip] = true_mac
+        spoof = ArpMessage(
+            op=ArpOp.REPLY, sender_ip=target_ip, sender_mac=self.mac, target_ip=victim.ip
+        )
+        self.lan.transmit(EthernetFrame(src_mac=self.mac, dst_mac=victim.mac, arp=spoof))
+
+    def on_ip_packet(self, packet: IpPacket) -> None:
+        if packet.dst_ip == self.ip:
+            super().on_ip_packet(packet)
+            return
+        true_mac = self._relay_mac_for(packet.dst_ip)
+        if true_mac is None:
+            return  # not traffic we hijacked
+        self.intercepted.append(packet)
+        payload = packet.payload
+        if self.transform is not None:
+            payload = self.transform(payload)
+        relayed = packet.with_payload(payload)
+        self.relayed.append(relayed)
+        self.lan.transmit(
+            EthernetFrame(src_mac=self.mac, dst_mac=true_mac, ip=relayed)
+        )
+
+    def _relay_mac_for(self, dst_ip: str) -> Optional[str]:
+        """True next-hop MAC for hijacked traffic.
+
+        Direct hit: we impersonate ``dst_ip`` itself.  Indirect hit: the
+        destination is off-subnet and we impersonate the victim's gateway,
+        so the packet reached us on its way out of the LAN.
+        """
+        if dst_ip in self._impersonated:
+            return self._impersonated[dst_ip]
+        if not self._same_subnet(dst_ip):
+            for impersonated_ip, true_mac in self._impersonated.items():
+                if self._same_subnet(impersonated_ip):
+                    return true_mac
+        return None

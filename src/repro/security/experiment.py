@@ -1,0 +1,209 @@
+"""The end-to-end proof-of-concept experiment (§7.1, Figure 18).
+
+Reproduces the paper's validation setup on the simulated LAN:
+
+* a victim broadcaster phone on WiFi, streaming RTMP packets (with a
+  running-counter "stopwatch" payload demonstrating liveness) through the
+  WiFi gateway to the ingest server,
+* an attacker laptop on the *same* WiFi that ARP-spoofs the gateway,
+  parses the victim's RTMP packets, and swaps video payloads for black
+  frames,
+* a remote viewer (on cellular — outside the LAN) receiving whatever the
+  ingest server got.
+
+The observable outcome matches Figure 18: after the attack starts, the
+viewer's frames are black while the broadcaster's local preview still
+shows the original video.  With the §7.2 signature defense enabled, the
+server (and viewer) detect every tampered frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import hashlib
+
+from repro.protocols.frames import VideoFrame
+from repro.protocols.rtmp import RtmpPacket, RtmpParseError, parse_rtmp_packet
+from repro.protocols.rtmps import TamperedRecordError, TlsLikeChannel
+from repro.security.arp_spoof import ArpSpoofer
+from repro.security.lan import GatewayHost, IpPacket, Lan, LanHost
+from repro.security.signing import StreamKeyExchange, StreamSigner, StreamVerifier
+from repro.security.tamper import BLACK_FRAME_PAYLOAD, RtmpTamperer
+
+#: Payload prefix for legitimate "stopwatch" frames.
+STOPWATCH_PREFIX = b"stopwatch:"
+
+
+def stopwatch_payload(sequence: int) -> bytes:
+    """The running-clock content the victim broadcasts."""
+    return STOPWATCH_PREFIX + str(sequence).encode("ascii")
+
+
+@dataclass
+class TamperExperimentResult:
+    """What each party observed."""
+
+    frames_sent: int
+    attack_started_at_sequence: int
+    broadcaster_preview: list[bytes] = field(default_factory=list)
+    viewer_frames: list[bytes] = field(default_factory=list)
+    tampered_count: int = 0
+    tokens_leaked: set[str] = field(default_factory=set)
+    defense_enabled: bool = False
+    rtmps_enabled: bool = False
+    tampered_detected: int = 0
+    tampered_missed: int = 0
+
+    @property
+    def viewer_black_frames(self) -> int:
+        return sum(1 for payload in self.viewer_frames if payload == BLACK_FRAME_PAYLOAD)
+
+    @property
+    def broadcaster_black_frames(self) -> int:
+        return sum(
+            1 for payload in self.broadcaster_preview if payload == BLACK_FRAME_PAYLOAD
+        )
+
+    @property
+    def attack_succeeded(self) -> bool:
+        """Attack succeeds when the viewer sees black frames but the
+        broadcaster's preview is untouched (and nothing was detected)."""
+        return (
+            self.viewer_black_frames > 0
+            and self.broadcaster_black_frames == 0
+            and self.tampered_detected == 0
+        )
+
+
+class TamperExperiment:
+    """Builds the LAN, runs the broadcast, optionally attacks/defends."""
+
+    def __init__(
+        self,
+        frames: int = 100,
+        attack_from_sequence: int = 50,
+        with_attack: bool = True,
+        with_defense: bool = False,
+        with_rtmps: bool = False,
+        token: str = "broadcast-token-1234",
+    ) -> None:
+        if frames <= 0:
+            raise ValueError("need at least one frame")
+        if attack_from_sequence < 0:
+            raise ValueError("attack start must be non-negative")
+        if with_defense and with_rtmps:
+            raise ValueError("pick one countermeasure: signatures or RTMPS")
+        self.frames = frames
+        self.attack_from_sequence = attack_from_sequence
+        self.with_attack = with_attack
+        self.with_defense = with_defense
+        self.with_rtmps = with_rtmps
+        self.token = token
+
+    def run(self) -> TamperExperimentResult:
+        result = TamperExperimentResult(
+            frames_sent=self.frames,
+            attack_started_at_sequence=self.attack_from_sequence,
+            defense_enabled=self.with_defense,
+            rtmps_enabled=self.with_rtmps,
+        )
+
+        # Key exchange happens over TLS before any RTMP flows; the in-path
+        # attacker never sees the key.
+        exchange = StreamKeyExchange()
+        signer: Optional[StreamSigner] = None
+        verifier: Optional[StreamVerifier] = None
+        if self.with_defense:
+            key = exchange.register(self.token)
+            signer = StreamSigner(token=self.token, key=key)
+            verifier = StreamVerifier(token=self.token, key=exchange.key_for(self.token))
+
+        # Facebook Live's approach: the whole RTMP stream rides an
+        # encrypted, authenticated channel (session secret established
+        # during the TLS handshake, never visible on the LAN).
+        sender_channel: Optional[TlsLikeChannel] = None
+        receiver_channel: Optional[TlsLikeChannel] = None
+        if self.with_rtmps:
+            session_secret = hashlib.sha256(b"handshake" + self.token.encode()).digest()
+            sender_channel = TlsLikeChannel(session_secret)
+            receiver_channel = TlsLikeChannel(session_secret)
+
+        # The "WAN": the ingest server and the remote viewer, reached via
+        # the gateway.  The viewer is NOT on the LAN (cellular).
+        def ingest(packet: IpPacket) -> None:
+            payload = packet.payload
+            if receiver_channel is not None:
+                try:
+                    payload = receiver_channel.open(payload)
+                except TamperedRecordError:
+                    result.tampered_detected += 1
+                    return  # authenticated encryption drops forgeries
+            try:
+                rtmp = parse_rtmp_packet(payload)
+            except RtmpParseError:
+                return
+            frame = rtmp.to_frame()
+            if verifier is not None:
+                ok = verifier.verify_frame(frame)
+                if not ok:
+                    if frame.payload == BLACK_FRAME_PAYLOAD:
+                        result.tampered_detected += 1
+                    return  # server drops unverifiable frames
+            elif frame.payload == BLACK_FRAME_PAYLOAD:
+                result.tampered_missed += 1
+            result.viewer_frames.append(frame.payload)
+
+        lan = Lan()
+        GatewayHost("wifi-ap", "02:00:00:00:00:01", "192.168.1.1", lan, ingest)
+        broadcaster = LanHost(
+            "victim-phone",
+            "02:00:00:00:00:02",
+            "192.168.1.10",
+            lan,
+            gateway_ip="192.168.1.1",
+        )
+
+        tamperer = RtmpTamperer(start_sequence=self.attack_from_sequence)
+        if self.with_attack:
+            attacker = ArpSpoofer(
+                "attacker-laptop", "02:00:00:00:00:66", "192.168.1.66", lan, tamperer
+            )
+            # Victim resolves the gateway once (normal behaviour)...
+            broadcaster.resolve_mac("192.168.1.1")
+            # ...then the attacker poisons its cache with an unsolicited reply.
+            attacker.poison(broadcaster, "192.168.1.1")
+
+        wowza_wan_ip = "54.0.0.10"
+        for sequence in range(self.frames):
+            frame = VideoFrame(
+                sequence=sequence,
+                capture_time=sequence * 0.040,
+                is_keyframe=(sequence % 30 == 0),
+                payload=stopwatch_payload(sequence),
+            )
+            # The phone screen shows what the camera captured, always.
+            result.broadcaster_preview.append(frame.payload)
+            if signer is not None:
+                frame = signer.sign_frame(frame)
+            packet = RtmpPacket.from_frame(self.token, frame)
+            wire = packet.encode()
+            if sender_channel is not None:
+                wire = sender_channel.seal(wire)
+            broadcaster.send_ip(wowza_wan_ip, wire)
+
+        result.tampered_count = tamperer.packets_tampered
+        result.tokens_leaked = set(tamperer.tokens_observed)
+        return result
+
+
+def run_attack_matrix() -> dict[str, TamperExperimentResult]:
+    """The Figure 18 scenarios: baseline, attack, attack+signatures, plus
+    Facebook Live's RTMPS (full encryption) for comparison."""
+    return {
+        "no_attack": TamperExperiment(with_attack=False).run(),
+        "attack": TamperExperiment(with_attack=True).run(),
+        "attack_with_defense": TamperExperiment(with_attack=True, with_defense=True).run(),
+        "attack_with_rtmps": TamperExperiment(with_attack=True, with_rtmps=True).run(),
+    }

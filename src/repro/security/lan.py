@@ -1,0 +1,230 @@
+"""A simulated layer-2 LAN with ARP.
+
+Models the edge network of §7.1's attack scenario: hosts on a shared WiFi
+segment resolve IP→MAC bindings via ARP and — crucially — accept
+*unsolicited* ARP replies, updating their caches.  That classic weakness is
+what lets the attacker interpose on the broadcaster↔gateway path without
+controlling the access point.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+BROADCAST_MAC = "ff:ff:ff:ff:ff:ff"
+
+
+@dataclass(frozen=True)
+class IpPacket:
+    """An IP datagram carrying opaque payload bytes."""
+
+    src_ip: str
+    dst_ip: str
+    payload: bytes
+
+    def with_payload(self, payload: bytes) -> "IpPacket":
+        return IpPacket(src_ip=self.src_ip, dst_ip=self.dst_ip, payload=payload)
+
+
+class ArpOp(enum.Enum):
+    REQUEST = "request"
+    REPLY = "reply"
+
+
+@dataclass(frozen=True)
+class ArpMessage:
+    """An ARP request or (possibly unsolicited) reply."""
+
+    op: ArpOp
+    sender_ip: str
+    sender_mac: str
+    target_ip: str
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """A layer-2 frame carrying either an IP packet or an ARP message."""
+
+    src_mac: str
+    dst_mac: str
+    ip: Optional[IpPacket] = None
+    arp: Optional[ArpMessage] = None
+
+    def __post_init__(self) -> None:
+        if (self.ip is None) == (self.arp is None):
+            raise ValueError("frame must carry exactly one of ip/arp")
+
+
+class Lan:
+    """A broadcast segment delivering frames between attached hosts."""
+
+    def __init__(self) -> None:
+        self._hosts: dict[str, "LanHost"] = {}
+        self.frames_transmitted = 0
+
+    def attach(self, host: "LanHost") -> None:
+        if host.mac in self._hosts:
+            raise ValueError(f"duplicate MAC {host.mac}")
+        self._hosts[host.mac] = host
+
+    def transmit(self, frame: EthernetFrame) -> None:
+        """Deliver a frame to its destination (or all hosts on broadcast)."""
+        self.frames_transmitted += 1
+        if frame.dst_mac == BROADCAST_MAC:
+            for host in list(self._hosts.values()):
+                if host.mac != frame.src_mac:
+                    host.on_frame(frame)
+            return
+        target = self._hosts.get(frame.dst_mac)
+        if target is not None:
+            target.on_frame(frame)
+
+    def host_by_ip(self, ip: str) -> Optional["LanHost"]:
+        for host in self._hosts.values():
+            if host.ip == ip:
+                return host
+        return None
+
+
+class LanHost:
+    """One host on the segment.
+
+    ``packet_handler`` is invoked for IP packets addressed to this host's
+    IP.  Subclasses (gateway, attacker) override :meth:`on_ip_packet` for
+    forwarding behaviour.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        mac: str,
+        ip: str,
+        lan: Lan,
+        packet_handler: Optional[Callable[[IpPacket], None]] = None,
+        gateway_ip: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.mac = mac
+        self.ip = ip
+        self.lan = lan
+        self.gateway_ip = gateway_ip
+        self.arp_table: dict[str, str] = {}
+        self.packet_handler = packet_handler
+        self.packets_received: list[IpPacket] = []
+        lan.attach(self)
+
+    # -- sending ---------------------------------------------------------
+
+    def _same_subnet(self, ip: str) -> bool:
+        """/24 subnet check — enough for a home/office WiFi segment."""
+        return ip.rsplit(".", 1)[0] == self.ip.rsplit(".", 1)[0]
+
+    def send_ip(self, dst_ip: str, payload: bytes) -> None:
+        """Send an IP packet; off-subnet traffic goes via the gateway.
+
+        The next-hop MAC comes from the ARP cache — which is exactly what
+        the spoofing attack poisons.
+        """
+        if self._same_subnet(dst_ip):
+            next_hop = dst_ip
+        elif self.gateway_ip is not None:
+            next_hop = self.gateway_ip
+        else:
+            raise RuntimeError(f"{self.name}: no route to {dst_ip}")
+        mac = self.resolve_mac(next_hop)
+        if mac is None:
+            raise RuntimeError(f"{self.name}: no ARP entry for {next_hop}")
+        packet = IpPacket(src_ip=self.ip, dst_ip=dst_ip, payload=payload)
+        self.lan.transmit(EthernetFrame(src_mac=self.mac, dst_mac=mac, ip=packet))
+
+    def resolve_mac(self, ip: str) -> Optional[str]:
+        if ip not in self.arp_table:
+            self._arp_request(ip)
+        return self.arp_table.get(ip)
+
+    def _arp_request(self, ip: str) -> None:
+        request = ArpMessage(
+            op=ArpOp.REQUEST, sender_ip=self.ip, sender_mac=self.mac, target_ip=ip
+        )
+        self.lan.transmit(
+            EthernetFrame(src_mac=self.mac, dst_mac=BROADCAST_MAC, arp=request)
+        )
+
+    # -- receiving -----------------------------------------------------------
+
+    def on_frame(self, frame: EthernetFrame) -> None:
+        if frame.arp is not None:
+            self._on_arp(frame.arp)
+        elif frame.ip is not None:
+            self.on_ip_packet(frame.ip)
+
+    def _on_arp(self, message: ArpMessage) -> None:
+        if message.op is ArpOp.REQUEST:
+            # Learn the requester, answer if we own the IP.
+            self.arp_table[message.sender_ip] = message.sender_mac
+            if message.target_ip == self.ip:
+                reply = ArpMessage(
+                    op=ArpOp.REPLY,
+                    sender_ip=self.ip,
+                    sender_mac=self.mac,
+                    target_ip=message.sender_ip,
+                )
+                self.lan.transmit(
+                    EthernetFrame(
+                        src_mac=self.mac, dst_mac=message.sender_mac, arp=reply
+                    )
+                )
+        else:
+            # THE VULNERABILITY EXPLOITED BY ARP SPOOFING: replies are
+            # accepted and cached even when unsolicited.
+            self.arp_table[message.sender_ip] = message.sender_mac
+
+    def on_ip_packet(self, packet: IpPacket) -> None:
+        """Default behaviour: consume packets addressed to me."""
+        if packet.dst_ip != self.ip:
+            return  # not mine; a plain host drops it
+        self.packets_received.append(packet)
+        if self.packet_handler is not None:
+            self.packet_handler(packet)
+
+
+class GatewayHost(LanHost):
+    """The WiFi AP / router: relays LAN traffic to an upstream handler.
+
+    Packets addressed to non-LAN IPs are handed to ``upstream`` (which in
+    the experiments feeds the simulated Wowza server) and replies can be
+    injected back with :meth:`inject_from_wan`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        mac: str,
+        ip: str,
+        lan: Lan,
+        upstream: Optional[Callable[[IpPacket], None]] = None,
+    ) -> None:
+        super().__init__(name, mac, ip, lan)
+        self.upstream = upstream
+        self.forwarded: list[IpPacket] = []
+
+    def on_ip_packet(self, packet: IpPacket) -> None:
+        if packet.dst_ip == self.ip:
+            super().on_ip_packet(packet)
+            return
+        if self.lan.host_by_ip(packet.dst_ip) is not None:
+            # Intra-LAN traffic does not cross the gateway.
+            return
+        self.forwarded.append(packet)
+        if self.upstream is not None:
+            self.upstream(packet)
+
+    def inject_from_wan(self, dst_ip: str, payload: bytes) -> None:
+        """Deliver a WAN-originated packet onto the LAN."""
+        mac = self.resolve_mac(dst_ip)
+        if mac is None:
+            raise RuntimeError(f"gateway: unknown LAN host {dst_ip}")
+        packet = IpPacket(src_ip="0.0.0.0", dst_ip=dst_ip, payload=payload)
+        self.lan.transmit(EthernetFrame(src_mac=self.mac, dst_mac=mac, ip=packet))

@@ -1,0 +1,221 @@
+"""The lightweight integrity defense (§7.2).
+
+The paper's proposal: after obtaining the broadcast token over HTTPS, the
+broadcaster securely exchanges key material with the ingest server
+(TLS-protected control channel), then embeds a signature over a one-way
+hash of each frame in the stream metadata.  The server — and, with the key
+forwarded, every viewer — verifies that video frames were not modified in
+flight.  Overhead can be reduced by signing only selected frames or by
+signing a hash chained across multiple frames.
+
+The signature primitive here is HMAC-SHA256.  The paper proposes
+public-key signatures; HMAC under a pairwise-exchanged key preserves the
+protocol structure and the integrity property against an in-path attacker
+who never sees the key (exchanged over TLS), while staying inside the
+standard library.  The cost model separates "full", "selective" and
+"chained" strategies for the overhead ablation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.protocols.frames import VideoFrame
+
+
+def _frame_digest(token: str, frame: VideoFrame) -> bytes:
+    """The one-way hash the signature covers: binds identity, position,
+    time and content, so frames cannot be re-ordered, replayed across
+    broadcasts, or altered."""
+    hasher = hashlib.sha256()
+    hasher.update(token.encode("utf-8"))
+    hasher.update(frame.sequence.to_bytes(8, "big"))
+    hasher.update(int(frame.capture_time * 1e6).to_bytes(12, "big", signed=True))
+    hasher.update(frame.payload)
+    return hasher.digest()
+
+
+@dataclass
+class StreamKeyExchange:
+    """Key establishment over the TLS-protected control channel.
+
+    The broadcaster generates key material and registers it with the
+    service alongside the broadcast token; the service forwards it to
+    viewers over their own TLS sessions.  The in-path RTMP attacker never
+    observes it.
+    """
+
+    _keys: dict[str, bytes] = field(default_factory=dict)
+
+    def register(self, token: str) -> bytes:
+        """Broadcaster side: create and register a key for ``token``."""
+        if token in self._keys:
+            raise ValueError(f"key already registered for {token}")
+        key = secrets.token_bytes(32)
+        self._keys[token] = key
+        return key
+
+    def key_for(self, token: str) -> bytes:
+        """Server/viewer side: fetch the key over the secure channel."""
+        if token not in self._keys:
+            raise KeyError(f"no key registered for {token}")
+        return self._keys[token]
+
+
+@dataclass
+class StreamSigner:
+    """Signs every frame (the baseline defense)."""
+
+    token: str
+    key: bytes
+    frames_signed: int = field(default=0, init=False)
+
+    def sign_frame(self, frame: VideoFrame) -> VideoFrame:
+        signature = hmac.new(self.key, _frame_digest(self.token, frame), hashlib.sha256)
+        self.frames_signed += 1
+        return frame.with_signature(signature.digest())
+
+
+@dataclass
+class StreamVerifier:
+    """Verifies frame signatures; counts tampered/unsigned frames."""
+
+    token: str
+    key: bytes
+    verified: int = field(default=0, init=False)
+    rejected: int = field(default=0, init=False)
+    unsigned: int = field(default=0, init=False)
+
+    def verify_frame(self, frame: VideoFrame) -> bool:
+        if frame.signature is None:
+            self.unsigned += 1
+            return False
+        expected = hmac.new(
+            self.key, _frame_digest(self.token, frame), hashlib.sha256
+        ).digest()
+        if hmac.compare_digest(expected, frame.signature):
+            self.verified += 1
+            return True
+        self.rejected += 1
+        return False
+
+
+@dataclass
+class SelectiveSigner:
+    """Signs every ``stride``-th frame (reduced overhead, §7.2).
+
+    Unsigned frames between signed ones are unprotected individually; the
+    verifier treats a valid signed frame as vouching for stream liveness
+    but tampering between anchors goes undetected — the trade-off the
+    overhead ablation quantifies.
+    """
+
+    token: str
+    key: bytes
+    stride: int = 25
+    frames_signed: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.stride <= 0:
+            raise ValueError("stride must be positive")
+
+    def sign_frame(self, frame: VideoFrame) -> VideoFrame:
+        if frame.sequence % self.stride != 0:
+            return frame
+        signature = hmac.new(self.key, _frame_digest(self.token, frame), hashlib.sha256)
+        self.frames_signed += 1
+        return frame.with_signature(signature.digest())
+
+
+@dataclass
+class ChainedSigner:
+    """Signs a hash across each window of ``window`` frames.
+
+    Buffers frame digests; when the window fills, the *last* frame of the
+    window carries a signature over the chained digest — every frame in
+    the window is covered by one signature (full protection, 1/window
+    signing cost, at the price of ``window`` frames of verification
+    latency).
+    """
+
+    token: str
+    key: bytes
+    window: int = 25
+    frames_signed: int = field(default=0, init=False)
+    _pending: list[bytes] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+
+    def sign_frame(self, frame: VideoFrame) -> VideoFrame:
+        self._pending.append(_frame_digest(self.token, frame))
+        if len(self._pending) < self.window:
+            return frame
+        chained = hashlib.sha256(b"".join(self._pending)).digest()
+        self._pending = []
+        signature = hmac.new(self.key, chained, hashlib.sha256)
+        self.frames_signed += 1
+        return frame.with_signature(signature.digest())
+
+
+@dataclass
+class ChainedVerifier:
+    """Verifies :class:`ChainedSigner` windows."""
+
+    token: str
+    key: bytes
+    window: int = 25
+    windows_verified: int = field(default=0, init=False)
+    windows_rejected: int = field(default=0, init=False)
+    _pending: list[bytes] = field(default_factory=list, init=False)
+
+    def observe_frame(self, frame: VideoFrame) -> Optional[bool]:
+        """Feed frames in order; returns a verdict when a window closes."""
+        self._pending.append(_frame_digest(self.token, frame))
+        if len(self._pending) < self.window:
+            return None
+        chained = hashlib.sha256(b"".join(self._pending)).digest()
+        self._pending = []
+        expected = hmac.new(self.key, chained, hashlib.sha256).digest()
+        if frame.signature is not None and hmac.compare_digest(expected, frame.signature):
+            self.windows_verified += 1
+            return True
+        self.windows_rejected += 1
+        return False
+
+
+@dataclass(frozen=True)
+class SigningCostModel:
+    """Relative CPU cost of the defense variants vs full TLS (RTMPS).
+
+    Unit: cost of hashing+signing one frame = 1.  TLS encrypts *all* bytes
+    of every frame; signing hashes every frame but pays the (amortized)
+    signature only per signed unit.
+    """
+
+    hash_cost_per_frame: float = 0.25  # SHA-256 over one frame
+    signature_cost: float = 0.75  # HMAC/signature finalization
+    tls_cost_per_frame: float = 2.2  # encrypt the full frame payload
+
+    def full_signing_cost(self, frames: int) -> float:
+        return frames * (self.hash_cost_per_frame + self.signature_cost)
+
+    def selective_cost(self, frames: int, stride: int) -> float:
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        signed = frames // stride + (1 if frames % stride else 0)
+        return signed * (self.hash_cost_per_frame + self.signature_cost)
+
+    def chained_cost(self, frames: int, window: int) -> float:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        windows = frames // window + (1 if frames % window else 0)
+        return frames * self.hash_cost_per_frame + windows * self.signature_cost
+
+    def rtmps_cost(self, frames: int) -> float:
+        return frames * self.tls_cost_per_frame

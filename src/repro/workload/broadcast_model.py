@@ -1,0 +1,182 @@
+"""Per-broadcast parameter sampling.
+
+Calibrated to §3.2:
+
+* Durations are lognormal with 85% of broadcasts under 10 minutes
+  (Figure 3); Meerkat's distribution is more skewed (heavier tail from a
+  smaller number of long broadcasts).
+* Audience sizes are a lognormal body with a rare "viral" Pareto tail up
+  to ~100K viewers (Figure 4); for Meerkat, ~60% of broadcasts get zero
+  viewers.
+* Engagement: hearts are cheap (a viewer can tap continuously — the top
+  broadcast collected 1.35M hearts), comments are throttled by the
+  100-commenter cap; ~10% of Periscope broadcasts exceed 100 comments and
+  1000 hearts (Figure 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.distributions import bounded_pareto, lognormal_from_median
+
+
+@dataclass(frozen=True)
+class BroadcastParams:
+    """Sampled characteristics of one broadcast."""
+
+    duration_s: float
+    audience_size: int  # total views (mobile + web)
+    web_views: int
+    heart_count: int
+    comment_count: int
+    commenter_count: int
+    is_private: bool
+    excitement: float
+
+
+@dataclass
+class BroadcastParamsModel:
+    """Samples :class:`BroadcastParams` for one application profile."""
+
+    # Duration: 85% under 600 s.  Periscope sigma 1.0 -> median ~213 s;
+    # Meerkat sigma 1.5 (more skewed) -> median ~127 s.
+    duration_median_s: float = 213.0
+    duration_sigma: float = 1.0
+    max_duration_s: float = 24 * 3600.0
+    min_duration_s: float = 5.0
+
+    # Audience: lognormal body + rare viral Pareto tail.
+    zero_viewer_prob: float = 0.01  # Meerkat: 0.60
+    audience_median: float = 8.0
+    audience_sigma: float = 1.6
+    viral_prob: float = 0.0015
+    viral_alpha: float = 0.7
+    viral_min: float = 1_000.0
+    audience_cap: int = 100_000
+
+    # Web (anonymous) views: 223M of 705M total views in the paper.
+    web_view_fraction: float = 0.316
+
+    # Engagement.
+    hearts_per_view_median: float = 8.0
+    hearts_per_view_sigma: float = 1.2
+    comment_prob_per_viewer: float = 0.45
+    comments_per_commenter_mean: float = 2.5
+    comment_cap: int = 100
+
+    private_prob: float = 0.02
+
+    def sample_duration(self, rng: np.random.Generator) -> float:
+        raw = float(lognormal_from_median(rng, self.duration_median_s, self.duration_sigma))
+        return float(np.clip(raw, self.min_duration_s, self.max_duration_s))
+
+    def sample_audience(self, rng: np.random.Generator) -> int:
+        if rng.random() < self.zero_viewer_prob:
+            return 0
+        # The viral tail only exists when the cap leaves room above its
+        # floor (tiny-scale runs clamp the cap below viral_min).
+        viral_possible = self.audience_cap > self.viral_min
+        if viral_possible and rng.random() < self.viral_prob:
+            size = float(
+                bounded_pareto(
+                    rng, self.viral_alpha, self.viral_min, float(self.audience_cap)
+                )
+            )
+        else:
+            size = float(lognormal_from_median(rng, self.audience_median, self.audience_sigma))
+        return int(np.clip(round(size), 1, self.audience_cap))
+
+    def sample_engagement(
+        self,
+        audience: int,
+        mobile_views: int,
+        excitement: float,
+        rng: np.random.Generator,
+    ) -> tuple[int, int, int]:
+        """(hearts, comments, distinct commenters) for a given audience.
+
+        Hearts scale with total views; comments only come from mobile
+        viewers and are throttled by the distinct-commenter cap.
+        """
+        if audience:
+            hearts_per_view = float(
+                lognormal_from_median(
+                    rng, self.hearts_per_view_median * excitement, self.hearts_per_view_sigma
+                )
+            )
+            heart_count = int(rng.poisson(audience * hearts_per_view))
+        else:
+            heart_count = 0
+
+        # Comments: capped at comment_cap distinct commenters, each
+        # posting 1 + Poisson(mean) messages.
+        eligible = min(mobile_views, self.comment_cap)
+        if eligible:
+            commenters = int(
+                rng.binomial(eligible, min(1.0, self.comment_prob_per_viewer * excitement))
+            )
+        else:
+            commenters = 0
+        if commenters:
+            comment_count = commenters + int(
+                rng.poisson(commenters * self.comments_per_commenter_mean * excitement)
+            )
+        else:
+            comment_count = 0
+        return heart_count, comment_count, commenters
+
+    def sample(self, rng: np.random.Generator) -> BroadcastParams:
+        """Sample one broadcast's full parameter set."""
+        duration = self.sample_duration(rng)
+        audience = self.sample_audience(rng)
+        excitement = float(rng.lognormal(mean=0.0, sigma=0.6))
+
+        web_views = int(rng.binomial(audience, self.web_view_fraction)) if audience else 0
+        mobile_views = audience - web_views
+        heart_count, comment_count, commenters = self.sample_engagement(
+            audience, mobile_views, excitement, rng
+        )
+
+        return BroadcastParams(
+            duration_s=duration,
+            audience_size=audience,
+            web_views=web_views,
+            heart_count=heart_count,
+            comment_count=comment_count,
+            commenter_count=commenters,
+            is_private=bool(rng.random() < self.private_prob),
+            excitement=excitement,
+        )
+
+    @classmethod
+    def for_periscope(cls, audience_cap: int = 100_000) -> "BroadcastParamsModel":
+        return cls(audience_cap=audience_cap)
+
+    @classmethod
+    def for_meerkat(cls, audience_cap: int = 10_000) -> "BroadcastParamsModel":
+        """Meerkat: 60% zero-viewer broadcasts, more skewed durations."""
+        return cls(
+            duration_median_s=127.0,
+            duration_sigma=1.5,
+            zero_viewer_prob=0.60,
+            audience_median=12.0,
+            audience_sigma=1.8,
+            viral_prob=0.0008,
+            viral_min=500.0,
+            audience_cap=audience_cap,
+            web_view_fraction=0.18,
+            hearts_per_view_median=2.0,
+            comment_prob_per_viewer=0.20,
+            comment_cap=1_000_000,
+        )
+
+    def expected_duration_quantile(self, duration_s: float) -> float:
+        """Analytic CDF of the (untruncated) duration lognormal."""
+        if duration_s <= 0:
+            return 0.0
+        z = math.log(duration_s / self.duration_median_s) / self.duration_sigma
+        return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))

@@ -1,0 +1,109 @@
+"""Calibration report: the generator's analytics vs the paper's constants.
+
+The workload generator is calibrated so that its *expected* outputs match
+the quantities the paper pins down.  This module computes those
+expectations analytically (no sampling), pairs them with the paper's
+values, and renders the comparison — the fast first check that a
+parameter change hasn't silently drifted the model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.workload.broadcast_model import BroadcastParamsModel
+from repro.workload.growth import GrowthModel, MEERKAT_GROWTH, PERISCOPE_GROWTH
+
+
+@dataclass(frozen=True)
+class CalibrationRow:
+    """One calibrated quantity."""
+
+    quantity: str
+    paper: float
+    model: float
+    tolerance_rel: float
+
+    @property
+    def within_tolerance(self) -> bool:
+        if self.paper == 0:
+            return self.model == 0
+        return abs(self.model - self.paper) / abs(self.paper) <= self.tolerance_rel
+
+
+def _lognormal_mean(median: float, sigma: float) -> float:
+    return median * math.exp(sigma**2 / 2.0)
+
+
+def _expected_audience_mean(model: BroadcastParamsModel) -> float:
+    """Expected views per broadcast (body only; the viral tail adds <10%)."""
+    body = _lognormal_mean(model.audience_median, model.audience_sigma)
+    return (1.0 - model.zero_viewer_prob) * body
+
+
+def periscope_calibration(
+    growth: GrowthModel = PERISCOPE_GROWTH,
+    params: BroadcastParamsModel | None = None,
+) -> list[CalibrationRow]:
+    """The Periscope-side calibration table."""
+    model = params or BroadcastParamsModel.for_periscope()
+    total_broadcasts = growth.total_broadcasts()
+    audience_mean = _expected_audience_mean(model)
+    return [
+        CalibrationRow("total broadcasts (3 mo)", 19.6e6, total_broadcasts, 0.10),
+        CalibrationRow(
+            "total views (3 mo)", 705e6, total_broadcasts * audience_mean, 0.30
+        ),
+        CalibrationRow(
+            "broadcasts under 10 min",
+            0.85,
+            model.expected_duration_quantile(600.0),
+            0.03,
+        ),
+        CalibrationRow(
+            "web view share", 223e6 / 705e6, model.web_view_fraction, 0.05
+        ),
+        CalibrationRow(
+            "growth factor",
+            3.2,
+            growth.broadcasts_on(growth.days - 3) / growth.broadcasts_on(4),
+            0.35,
+        ),
+    ]
+
+
+def meerkat_calibration(
+    growth: GrowthModel = MEERKAT_GROWTH,
+    params: BroadcastParamsModel | None = None,
+) -> list[CalibrationRow]:
+    """The Meerkat-side calibration table."""
+    model = params or BroadcastParamsModel.for_meerkat()
+    total_broadcasts = growth.total_broadcasts()
+    audience_mean = _expected_audience_mean(model)
+    return [
+        CalibrationRow("total broadcasts (1 mo)", 164e3, total_broadcasts, 0.12),
+        CalibrationRow(
+            "total views (1 mo)", 3.8e6, total_broadcasts * audience_mean, 0.5
+        ),
+        CalibrationRow("zero-viewer share", 0.60, model.zero_viewer_prob, 0.01),
+        CalibrationRow(
+            "broadcasts under 10 min",
+            0.85,
+            model.expected_duration_quantile(600.0),
+            0.05,
+        ),
+    ]
+
+
+def render_calibration(rows: list[CalibrationRow], title: str = "") -> str:
+    """Plain-text calibration table with pass/fail marks."""
+    lines = [title] if title else []
+    width = max(len(row.quantity) for row in rows)
+    for row in rows:
+        mark = "ok " if row.within_tolerance else "OFF"
+        lines.append(
+            f"[{mark}] {row.quantity:<{width}}  paper: {row.paper:>12.4g}  "
+            f"model: {row.model:>12.4g}  (tol {row.tolerance_rel:.0%})"
+        )
+    return "\n".join(lines)

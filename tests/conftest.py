@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.platform.service import LivestreamService
+from repro.platform.users import UserRegistry
+from repro.simulation.engine import Simulator
+from repro.simulation.randomness import RandomStreams
+from repro.social.generation import FollowGraphConfig, generate_follow_graph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    return RandomStreams(seed=42)
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def small_graph(rng):
+    """A 300-node follow graph (fast to generate, big enough for metrics)."""
+    return generate_follow_graph(FollowGraphConfig(n_nodes=300, mean_out_degree=8.0), rng)
+
+
+@pytest.fixture
+def service() -> LivestreamService:
+    """A Periscope-profile service with 200 registered users."""
+    svc = LivestreamService()
+    svc.users.register_many(200)
+    return svc
+
+
+@pytest.fixture
+def live_broadcast(service):
+    """A running broadcast by user 1, started at t=0."""
+    return service.start_broadcast(broadcaster_id=1, time=0.0)

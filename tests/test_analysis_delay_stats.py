@@ -1,0 +1,82 @@
+"""Tests for the delay-statistics helpers (Figures 11–15 aggregation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.delay_stats import (
+    breakdown_rows,
+    colocation_gap_s,
+    geolocation_cdfs,
+    polling_cdfs,
+)
+from repro.core.delay_breakdown import DelayBreakdown
+from repro.core.geolocation import GeoDelaySample
+from repro.core.polling import PollingStats
+
+
+def _stats(interval: float, means: list[float]) -> list[PollingStats]:
+    return [
+        PollingStats(interval_s=interval, mean_delay_s=m, std_delay_s=m / 2, chunk_count=10)
+        for m in means
+    ]
+
+
+class TestBreakdownRows:
+    def test_rows_keyed_by_protocol(self):
+        rtmp = DelayBreakdown("rtmp", {"upload": 0.2, "buffering": 1.0})
+        hls = DelayBreakdown("hls", {"upload": 0.2, "chunking": 3.0})
+        rows = breakdown_rows([rtmp, hls])
+        assert set(rows) == {"rtmp", "hls"}
+        assert rows["rtmp"]["total"] == pytest.approx(1.2)
+        assert rows["hls"]["total"] == pytest.approx(3.2)
+
+    def test_total_property(self):
+        breakdown = DelayBreakdown("hls", {"a": 1.0, "b": 2.5})
+        assert breakdown.total_s == pytest.approx(3.5)
+
+
+class TestPollingCdfs:
+    def test_mean_quantity(self):
+        stats = {2.0: _stats(2.0, [0.9, 1.1]), 4.0: _stats(4.0, [1.9, 2.1])}
+        cdfs = polling_cdfs(stats, quantity="mean")
+        assert set(cdfs) == {"2s", "4s"}
+        assert cdfs["2s"].median == pytest.approx(1.0)
+
+    def test_std_quantity(self):
+        stats = {2.0: _stats(2.0, [1.0, 1.0])}
+        cdfs = polling_cdfs(stats, quantity="std")
+        assert cdfs["2s"].median == pytest.approx(0.5)
+
+    def test_empty_interval_skipped(self):
+        cdfs = polling_cdfs({2.0: [], 3.0: _stats(3.0, [1.5])})
+        assert set(cdfs) == {"3s"}
+
+    def test_unknown_quantity_rejected(self):
+        with pytest.raises(ValueError):
+            polling_cdfs({2.0: _stats(2.0, [1.0])}, quantity="variance")
+
+
+class TestGeolocationAggregation:
+    def _samples(self):
+        return [
+            GeoDelaySample("w", "f1", 0.0, "co-located", 0.08),
+            GeoDelaySample("w", "f1", 0.0, "co-located", 0.12),
+            GeoDelaySample("w", "f2", 300.0, "(0, 500km]", 0.45),
+            GeoDelaySample("w", "f2", 300.0, "(0, 500km]", 0.55),
+            GeoDelaySample("w", "f3", 9000.0, "(5000, 10000km]", 0.8),
+        ]
+
+    def test_cdfs_grouped_by_bucket(self):
+        cdfs = geolocation_cdfs(self._samples())
+        assert set(cdfs) == {"co-located", "(0, 500km]", "(5000, 10000km]"}
+        assert len(cdfs["co-located"]) == 2
+
+    def test_colocation_gap(self):
+        gap = colocation_gap_s(self._samples())
+        assert gap == pytest.approx(0.4)  # 0.5 - 0.1 medians
+
+    def test_gap_requires_both_buckets(self):
+        with pytest.raises(ValueError):
+            colocation_gap_s([GeoDelaySample("w", "f", 0.0, "co-located", 0.1)])

@@ -1,0 +1,82 @@
+"""Tests for CSV export helpers."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.exports import (
+    export_cdf_csv,
+    export_series_csv,
+    export_table_csv,
+    load_csv_columns,
+)
+
+
+class TestCdfExport:
+    def test_long_format(self, tmp_path):
+        path = tmp_path / "cdf.csv"
+        rows = export_cdf_csv({"a": Cdf(np.arange(10.0)), "b": Cdf(np.arange(5.0))}, path)
+        assert rows == 15
+        with open(path, newline="") as handle:
+            reader = list(csv.reader(handle))
+        assert reader[0] == ["series", "x", "cdf"]
+        assert reader[1][0] == "a"
+
+    def test_thinning(self, tmp_path):
+        path = tmp_path / "cdf.csv"
+        rows = export_cdf_csv({"big": Cdf(np.arange(10_000.0))}, path, max_points=100)
+        assert rows == 100
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_cdf_csv({}, tmp_path / "x.csv")
+
+
+class TestSeriesExport:
+    def test_wide_format_round_trip(self, tmp_path):
+        path = tmp_path / "series.csv"
+        export_series_csv(
+            {"p": [1.0, 2.0, 3.0], "m": [9.0]}, path, index_name="day"
+        )
+        columns = load_csv_columns(path)
+        assert list(columns["p"]) == [1.0, 2.0, 3.0]
+        assert columns["m"][0] == 9.0
+        assert np.isnan(columns["m"][1])
+        assert list(columns["day"]) == [0.0, 1.0, 2.0]
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_series_csv({}, tmp_path / "x.csv")
+        with pytest.raises(ValueError):
+            export_series_csv({"x": []}, tmp_path / "x.csv")
+
+
+class TestTableExport:
+    def test_table_export(self, tmp_path):
+        path = tmp_path / "table.csv"
+        count = export_table_csv(
+            {"rtmp": {"delay": 1.4}, "hls": {"delay": 11.7, "extra": 1}},
+            path,
+            row_header="protocol",
+        )
+        assert count == 2
+        with open(path, newline="") as handle:
+            reader = list(csv.reader(handle))
+        assert reader[0] == ["protocol", "delay", "extra"]
+        assert reader[1] == ["rtmp", "1.4", ""]
+
+    def test_experiment_data_exports(self, tmp_path):
+        """An experiment's CDFs export cleanly (the downstream use case)."""
+        import repro
+
+        result = repro.run_experiment("fig14")
+        curves = result.data["curves"]
+        rows = {
+            str(p.viewers): {"rtmp_cpu": p.cpu_percent}
+            for p in curves["rtmp"]
+        }
+        assert export_table_csv(rows, tmp_path / "fig14.csv") == len(rows)

@@ -1,0 +1,112 @@
+"""Tests for the ASCII figure rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.plots import ascii_cdf, ascii_series, ascii_stacked_bars
+
+
+@pytest.fixture
+def uniform_cdf():
+    return Cdf(np.linspace(0.0, 2.0, 500))
+
+
+class TestAsciiCdf:
+    def test_contains_title_and_legend(self, uniform_cdf):
+        text = ascii_cdf({"2s": uniform_cdf}, title="Demo")
+        assert text.splitlines()[0] == "Demo"
+        assert "legend: *=2s" in text
+
+    def test_all_series_plotted(self, uniform_cdf):
+        other = Cdf(np.linspace(0.0, 4.0, 500))
+        text = ascii_cdf({"a": uniform_cdf, "b": other})
+        assert "*" in text
+        assert "o" in text
+
+    def test_curve_is_monotone_left_to_right(self, uniform_cdf):
+        text = ascii_cdf({"s": uniform_cdf}, title="T", width=40, height=10)
+        # Extract the column index of the glyph in each canvas row; the
+        # curve rises, so rows from bottom to top hold increasing columns.
+        rows = [line.split("|", 1)[1] for line in text.splitlines()[1:11]]
+        positions = []
+        for row in reversed(rows):  # bottom (low CDF) to top
+            columns = [i for i, ch in enumerate(row) if ch == "*"]
+            if columns:
+                positions.append(np.mean(columns))
+        assert positions == sorted(positions)
+
+    def test_log_axis_midpoint_is_geometric(self):
+        cdf = Cdf(np.concatenate([np.full(500, 1.0), np.full(500, 10_000.0)]))
+        text = ascii_cdf({"s": cdf}, log_x=True)
+        # Geometric midpoint of [1, 10k] is 100, not 5k.
+        assert "100" in text.splitlines()[-3]
+
+    def test_x_max_override(self, uniform_cdf):
+        text = ascii_cdf({"s": uniform_cdf}, x_max=10.0)
+        assert text.splitlines()[-3].rstrip().endswith("10")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({})
+
+    def test_tiny_canvas_rejected(self, uniform_cdf):
+        with pytest.raises(ValueError):
+            ascii_cdf({"s": uniform_cdf}, width=5, height=2)
+
+
+class TestAsciiSeries:
+    def test_renders_with_day_axis(self):
+        text = ascii_series({"p": np.arange(98.0)})
+        assert "day" in text
+        assert "97" in text
+
+    def test_normalized_series_share_scale(self):
+        text = ascii_series(
+            {"big": np.arange(100.0) * 1000, "small": np.arange(50.0)},
+            normalize=True,
+        )
+        assert "relative" in text
+        assert "*" in text and "o" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series({})
+        with pytest.raises(ValueError):
+            ascii_series({"x": []})
+
+    def test_constant_series_renders(self):
+        text = ascii_series({"flat": np.full(10, 5.0)})
+        assert "*" in text
+
+
+class TestAsciiStackedBars:
+    def test_totals_printed(self):
+        text = ascii_stacked_bars(
+            {"rtmp": {"a": 1.0, "b": 0.4}, "hls": {"a": 1.0, "c": 9.0}}
+        )
+        assert "1.40s" in text
+        assert "10.00s" in text
+
+    def test_components_share_glyphs_across_bars(self):
+        text = ascii_stacked_bars(
+            {"x": {"upload": 1.0}, "y": {"upload": 2.0, "extra": 1.0}}
+        )
+        assert "legend: *=upload" in text
+
+    def test_bar_lengths_proportional(self):
+        text = ascii_stacked_bars({"short": {"a": 1.0}, "long": {"a": 4.0}}, width=40)
+        lines = [line for line in text.splitlines() if "|" in line]
+        short_cells = lines[0].split("|")[1].count("*")
+        long_cells = lines[1].split("|")[1].count("*")
+        assert long_cells == pytest.approx(4 * short_cells, abs=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_stacked_bars({})
+
+    def test_zero_totals_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_stacked_bars({"x": {"a": 0.0}})

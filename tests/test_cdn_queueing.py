@@ -1,0 +1,89 @@
+"""Tests for the server queueing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdn.queueing import LoadPointMeasurement, ServerQueue, load_sweep, simulate_pop_load
+from repro.simulation.engine import Simulator
+
+
+class TestServerQueue:
+    def test_idle_server_serves_immediately(self, simulator):
+        queue = ServerQueue(simulator, poll_service_s=0.01)
+        assert queue.serve_poll() == pytest.approx(0.01)
+        assert queue.queueing_delay_now() == pytest.approx(0.01)
+
+    def test_backlog_accumulates(self, simulator):
+        queue = ServerQueue(simulator, poll_service_s=0.01)
+        completions = [queue.serve_poll() for _ in range(5)]
+        assert completions == sorted(completions)
+        assert completions[-1] == pytest.approx(0.05)
+
+    def test_backlog_drains_with_time(self, simulator):
+        queue = ServerQueue(simulator, poll_service_s=0.01)
+        queue.serve_poll()
+        simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        assert queue.queueing_delay_now() == 0.0
+
+    def test_mixed_operation_classes(self, simulator):
+        queue = ServerQueue(simulator, poll_service_s=0.001, chunk_service_s=0.05)
+        queue.serve_chunk_build()
+        completion = queue.serve_poll()
+        assert completion == pytest.approx(0.051)
+
+    def test_utilization(self, simulator):
+        queue = ServerQueue(simulator, poll_service_s=0.5)
+        queue.serve_poll()
+        assert queue.utilization(elapsed_s=1.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            queue.utilization(elapsed_s=0.0)
+
+
+class TestPopLoadSimulation:
+    def test_light_load_negligible_queueing(self):
+        point = simulate_pop_load(concurrent_streams=5, duration_s=30.0)
+        assert point.offered_load < 0.3
+        assert point.mean_poll_delay_s < 0.01
+
+    def test_delay_explodes_past_capacity(self):
+        """The hockey stick behind 'volume drives latency'."""
+        light = simulate_pop_load(concurrent_streams=10, duration_s=30.0)
+        saturated = simulate_pop_load(concurrent_streams=40, duration_s=30.0)
+        assert saturated.offered_load > 1.0
+        assert saturated.mean_poll_delay_s > 50 * light.mean_poll_delay_s
+
+    def test_sweep_monotone_delay(self):
+        points = load_sweep([5, 20, 35], duration_s=25.0)
+        delays = [p.mean_poll_delay_s for p in points]
+        assert delays == sorted(delays)
+
+    def test_offered_load_formula(self):
+        point = simulate_pop_load(
+            concurrent_streams=10, viewers_per_stream=24, poll_interval_s=2.4,
+            chunk_duration_s=3.0, duration_s=10.0,
+        )
+        # 24/2.4 polls/s * 2ms + 20ms/3s chunk work = 0.0267/s per stream.
+        assert point.offered_load == pytest.approx(10 * (10 * 0.002 + 0.02 / 3.0), rel=0.01)
+
+    def test_bigger_chunks_relieve_the_server(self):
+        """The §5.2 knob works dynamically too: larger chunks -> lighter
+        load -> less queueing at the same stream count."""
+        small_chunks = simulate_pop_load(
+            concurrent_streams=32, chunk_duration_s=1.0, duration_s=25.0
+        )
+        big_chunks = simulate_pop_load(
+            concurrent_streams=32, chunk_duration_s=10.0, duration_s=25.0
+        )
+        assert big_chunks.offered_load < small_chunks.offered_load
+        assert big_chunks.mean_poll_delay_s <= small_chunks.mean_poll_delay_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_pop_load(concurrent_streams=0)
+
+    def test_measurement_fields(self):
+        point = simulate_pop_load(concurrent_streams=3, duration_s=10.0)
+        assert isinstance(point, LoadPointMeasurement)
+        assert point.p99_poll_delay_s >= point.mean_poll_delay_s

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.registry import list_experiments
+
+
+class TestCli:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in list_experiments():
+            assert experiment_id in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["fig14"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 14" in out
+        assert "regenerated in" in out
+
+    def test_run_multiple_experiments(self, capsys):
+        assert main(["fig9", "fig18"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "Figure 18" in out
+
+    def test_expect_flag_shows_paper_claim(self, capsys):
+        assert main(["fig14", "--expect"]) == 0
+        out = capsys.readouterr().out
+        assert "[paper]" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_no_arguments_fails(self, capsys):
+        assert main([]) == 2
+
+    def test_scale_option_forwarded(self, capsys):
+        assert main(["table1", "--scale", "0.0001", "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "scale=0.0001" in out
+
+    def test_campaign_option_forwarded(self, capsys):
+        assert main(["fig12", "--broadcasts", "6", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 12" in out
+
+    def test_parser_help_mentions_all(self):
+        parser = build_parser()
+        help_text = parser.format_help()
+        assert "--all" in help_text
+        assert "--list" in help_text
+
+    @pytest.mark.slow
+    def test_all_runs_every_experiment(self, capsys):
+        assert main(["--all"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in list_experiments():
+            assert f"[{experiment_id} regenerated" in out
+
+    def test_out_flag_tees_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        assert main(["fig14", "--out", str(target)]) == 0
+        capsys.readouterr()
+        assert "Figure 14" in target.read_text()

@@ -1,0 +1,104 @@
+"""Tests for the §6 adaptive pre-buffer policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive_buffer import (
+    AdaptiveBufferPolicy,
+    JitterProbe,
+    evaluate_policies,
+)
+
+
+def _steady_trace(n=100, cadence=3.0, jitter=0.02, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(cadence + rng.normal(0, jitter, size=n))
+
+
+def _bursty_trace(n=100, cadence=3.0, seed=0):
+    rng = np.random.default_rng(seed)
+    gaps = cadence + rng.normal(0, 0.05, size=n)
+    # Every ~10th unit stalls badly then the next ones flush.
+    gaps[::10] += rng.uniform(3.0, 8.0, size=len(gaps[::10]))
+    return np.cumsum(gaps)
+
+
+class TestJitterProbe:
+    def test_steady_trace_scores_low(self):
+        probe = JitterProbe(probe_s=30.0)
+        assert probe.score(_steady_trace(), 3.0) < 0.1
+
+    def test_bursty_trace_scores_high(self):
+        probe = JitterProbe(probe_s=60.0)
+        assert probe.score(_bursty_trace(), 3.0) > 1.0
+
+    def test_too_few_samples_assume_worst(self):
+        probe = JitterProbe()
+        assert probe.score(np.array([0.0, 3.0]), 3.0) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JitterProbe(probe_s=0.0)
+
+
+class TestAdaptivePolicy:
+    def test_stable_connection_gets_small_buffer(self):
+        policy = AdaptiveBufferPolicy()
+        assert policy.choose_prebuffer(_steady_trace(), 3.0) == 3.0
+
+    def test_bad_connection_falls_back_to_default(self):
+        """The paper: 'Periscope could always fall back to the default 9s
+        buffer' on bad connections."""
+        policy = AdaptiveBufferPolicy(probe=JitterProbe(probe_s=60.0))
+        assert policy.choose_prebuffer(_bursty_trace(), 3.0) == 9.0
+
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            AdaptiveBufferPolicy(thresholds=((1.0, 6.0), (0.5, 3.0)))
+
+    def test_intermediate_jitter_gets_middle_buffer(self):
+        # Worst excess gap ~3.4 s = ~1.1x the 3 s cadence: between the
+        # 0.5x "stable" and 1.6x "unstable" steps -> the 6 s middle buffer.
+        rng = np.random.default_rng(1)
+        gaps = 3.0 + rng.uniform(2.5, 3.5, size=50)
+        trace = np.cumsum(gaps)
+        policy = AdaptiveBufferPolicy(probe=JitterProbe(probe_s=60.0))
+        assert policy.choose_prebuffer(trace, 3.0) == 6.0
+
+
+class TestPolicyEvaluation:
+    @pytest.fixture(scope="class")
+    def mixed_traces(self):
+        steady = [_steady_trace(seed=s) for s in range(12)]
+        bursty = [_bursty_trace(seed=100 + s) for s in range(4)]
+        return steady + bursty
+
+    @pytest.fixture(scope="class")
+    def outcomes(self, mixed_traces):
+        # A probe window long enough to observe the bursty traces' ~30 s
+        # stall cadence (a production client would keep probing anyway).
+        policy = AdaptiveBufferPolicy(probe=JitterProbe(probe_s=90.0))
+        return evaluate_policies(mixed_traces, 3.0, adaptive=policy)
+
+    def test_adaptive_beats_fixed9_on_delay(self, outcomes):
+        assert (
+            outcomes["adaptive"].median_delay_s
+            < outcomes["fixed-9s"].median_delay_s * 0.7
+        )
+
+    def test_adaptive_stall_close_to_fixed9(self, outcomes):
+        assert (
+            outcomes["adaptive"].p90_stall_ratio
+            <= outcomes["fixed-6s"].p90_stall_ratio + 0.05
+        )
+
+    def test_adaptive_mixes_buffer_sizes(self, outcomes):
+        distribution = outcomes["adaptive"].prebuffer_distribution
+        assert len(distribution) >= 2  # not a constant policy
+        assert 9.0 in distribution  # the bursty traces fell back
+
+    def test_empty_traces_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_policies([], 3.0)

@@ -1,0 +1,92 @@
+"""Tests for the §5.2 chunk-size measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.chunk_stats import (
+    PERISCOPE_CHUNK_MIX,
+    chunk_duration_distribution,
+    dominant_chunk_share,
+    infer_chunk_duration,
+    sample_chunk_duration,
+)
+from repro.core.pipeline import BroadcastTrace, DelayMeasurementCampaign
+
+
+def _trace(chunk_gap_s: float, chunks: int = 30, jitter: float = 0.02, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    ready = np.cumsum(chunk_gap_s + rng.normal(0, jitter, size=chunks))
+    return BroadcastTrace(
+        broadcast_id=1,
+        duration_s=chunk_gap_s * chunks,
+        frame_arrivals=np.arange(int(chunk_gap_s * chunks / 0.04)) * 0.04,
+        chunk_ready=ready,
+        chunk_availability=ready + 0.3,
+        chunk_duration_s=chunk_gap_s,
+        frame_interval_s=0.04,
+    )
+
+
+class TestSampling:
+    def test_mix_frequencies(self):
+        rng = np.random.default_rng(1)
+        samples = [sample_chunk_duration(rng) for _ in range(20_000)]
+        share_3s = np.mean(np.array(samples) == 3.0)
+        assert share_3s == pytest.approx(PERISCOPE_CHUNK_MIX[3.0], abs=0.01)
+
+    def test_custom_mix(self):
+        rng = np.random.default_rng(1)
+        assert sample_chunk_duration(rng, {5.0: 1.0}) == 5.0
+
+    def test_bad_mix_rejected(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            sample_chunk_duration(rng, {})
+        with pytest.raises(ValueError):
+            sample_chunk_duration(rng, {3.0: -1.0})
+
+
+class TestInference:
+    def test_infers_3s(self):
+        assert infer_chunk_duration(_trace(3.0)) == 3.0
+
+    def test_infers_3_6s_meerkat(self):
+        assert infer_chunk_duration(_trace(3.6), quantize_s=0.1) == pytest.approx(3.6)
+
+    def test_too_few_chunks_unclassifiable(self):
+        assert infer_chunk_duration(_trace(3.0, chunks=2)) is None
+
+    def test_distribution_over_mixed_traces(self):
+        traces = [_trace(3.0, seed=i) for i in range(17)] + [
+            _trace(6.0, seed=100 + i) for i in range(3)
+        ]
+        distribution = chunk_duration_distribution(traces)
+        assert distribution[3.0] == pytest.approx(0.85, abs=0.01)
+        assert distribution[6.0] == pytest.approx(0.15, abs=0.01)
+
+    def test_no_classifiable_traces_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_duration_distribution([_trace(3.0, chunks=2)])
+
+    def test_bad_quantize_rejected(self):
+        with pytest.raises(ValueError):
+            infer_chunk_duration(_trace(3.0), quantize_s=0.0)
+
+
+class TestEndToEnd:
+    def test_campaign_with_mix_reproduces_paper_share(self):
+        """§5.2: >85.9% of broadcasts on 3 s chunks — measured, not configured."""
+        campaign = DelayMeasurementCampaign(
+            n_broadcasts=40, seed=52, chunk_duration_mix=PERISCOPE_CHUNK_MIX,
+            duration_median_s=150.0, max_duration_s=300.0,
+        )
+        traces = campaign.run()
+        share = dominant_chunk_share(traces, duration_s=3.0)
+        assert share == pytest.approx(PERISCOPE_CHUNK_MIX[3.0], abs=0.15)
+        assert share > 0.7
+
+    def test_campaign_without_mix_is_uniformly_3s(self):
+        traces = DelayMeasurementCampaign(n_broadcasts=5, seed=53).run()
+        assert dominant_chunk_share(traces, duration_s=3.0) == 1.0

@@ -1,0 +1,201 @@
+"""Tests for the core experiment machinery and paper-claim integration checks.
+
+The integration tests here assert the *shape* results the paper reports —
+who wins, by roughly what factor, where the structure shows — on small
+but statistically sufficient runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.delay_breakdown import ControlledExperiment, HLS_COMPONENTS, RTMP_COMPONENTS
+from repro.core.geolocation import delays_by_bucket, geolocation_study
+from repro.core.pipeline import (
+    DelayMeasurementCampaign,
+    hls_viewer_traces,
+    rtmp_viewer_traces,
+)
+from repro.core.scalability import (
+    cpu_from_operations,
+    measure_operations,
+    operation_ratio,
+    scalability_sweep,
+)
+from repro.geo.datacenters import FASTLY_DATACENTERS, WOWZA_DATACENTERS
+
+
+@pytest.fixture(scope="module")
+def campaign_traces():
+    return DelayMeasurementCampaign(n_broadcasts=12, seed=4).run()
+
+
+class TestDelayCampaign:
+    def test_traces_have_consistent_structure(self, campaign_traces):
+        for trace in campaign_traces:
+            assert len(trace.frame_arrivals) == int(trace.duration_s / 0.04)
+            assert np.all(np.diff(trace.frame_arrivals) >= 0)
+            # Chunks appear at the POP only after they are ready at the origin.
+            n = min(len(trace.chunk_ready), len(trace.chunk_availability))
+            assert np.all(trace.chunk_availability[:n] >= trace.chunk_ready[:n])
+
+    def test_chunk_interarrival_near_3s(self, campaign_traces):
+        gaps = np.concatenate(
+            [np.diff(t.chunk_availability) for t in campaign_traces if t.chunk_count > 5]
+        )
+        assert np.median(gaps) == pytest.approx(3.0, abs=0.3)
+
+    def test_viewer_trace_extraction(self, campaign_traces):
+        rtmp = rtmp_viewer_traces(campaign_traces)
+        assert len(rtmp) == len(campaign_traces)
+        hls = hls_viewer_traces(campaign_traces, np.random.default_rng(0))
+        for pickups, trace in zip(hls, campaign_traces):
+            assert np.all(pickups >= trace.chunk_availability - 1e-9)
+
+    def test_deterministic_across_runs(self):
+        a = DelayMeasurementCampaign(n_broadcasts=3, seed=9).run()
+        b = DelayMeasurementCampaign(n_broadcasts=3, seed=9).run()
+        for trace_a, trace_b in zip(a, b):
+            assert np.allclose(trace_a.frame_arrivals, trace_b.frame_arrivals)
+            assert np.allclose(trace_a.chunk_availability, trace_b.chunk_availability)
+
+
+class TestControlledExperiment:
+    @pytest.fixture(scope="class")
+    def breakdowns(self):
+        return ControlledExperiment(seed=3, duration_s=90.0).run(repetitions=3)
+
+    def test_component_sets(self, breakdowns):
+        rtmp, hls = breakdowns
+        assert tuple(rtmp.components) == RTMP_COMPONENTS
+        assert tuple(hls.components) == HLS_COMPONENTS
+
+    def test_rtmp_total_near_paper(self, breakdowns):
+        rtmp, _ = breakdowns
+        assert 0.8 < rtmp.total_s < 2.2  # paper: ~1.4 s
+
+    def test_hls_total_near_paper(self, breakdowns):
+        _, hls = breakdowns
+        assert 8.0 < hls.total_s < 15.0  # paper: ~11.7 s
+
+    def test_hls_dominated_by_buffering_chunking(self, breakdowns):
+        _, hls = breakdowns
+        components = hls.components
+        assert components["buffering"] == max(components.values())
+        assert components["chunking"] == pytest.approx(3.0, abs=0.3)
+        assert components["buffering"] > 4.0
+
+    def test_rtmp_buffering_near_prebuffer(self, breakdowns):
+        rtmp, _ = breakdowns
+        assert rtmp.components["buffering"] == pytest.approx(1.0, abs=0.4)
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            ControlledExperiment().run(repetitions=0)
+
+
+class TestScalability:
+    def test_sweep_reproduces_figure_14(self):
+        curves = scalability_sweep([100, 300, 500])
+        rtmp = {p.viewers: p.cpu_percent for p in curves["rtmp"]}
+        hls = {p.viewers: p.cpu_percent for p in curves["hls"]}
+        assert all(rtmp[v] > hls[v] for v in (100, 300, 500))
+        assert rtmp[500] > 80  # near saturation
+        assert hls[500] < 40
+
+    def test_measured_operations_ratio(self):
+        """Per-viewer ops: 25 push/s vs ~0.4 poll/s — roughly 60x."""
+        ratio = operation_ratio(duration_s=20.0, viewers=10)
+        assert 30 < ratio < 120
+
+    def test_measured_operations_counts(self):
+        counts = measure_operations("rtmp", viewers=5, duration_s=10.0)
+        assert counts.frame_pushes == 5 * 250
+        hls_counts = measure_operations("hls", viewers=5, duration_s=10.0)
+        assert hls_counts.polls_served > 0
+        assert hls_counts.chunks_assembled >= 3
+
+    def test_cpu_from_operations_tracks_model(self):
+        counts = measure_operations("rtmp", viewers=20, duration_s=10.0)
+        cpu = cpu_from_operations(counts)
+        sweep = scalability_sweep([20])["rtmp"][0].cpu_percent
+        assert cpu == pytest.approx(sweep, rel=0.15)
+
+    def test_invalid_protocol(self):
+        with pytest.raises(ValueError):
+            measure_operations("quic", viewers=1)
+
+
+class TestGeolocation:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        rng = np.random.default_rng(15)
+        return geolocation_study(rng, broadcasts_per_pair=4, chunks_per_broadcast=15)
+
+    def test_covers_all_pairs(self, samples):
+        pairs = {(s.wowza, s.fastly) for s in samples}
+        assert len(pairs) == len(WOWZA_DATACENTERS) * len(FASTLY_DATACENTERS)
+
+    def test_delay_ordering_by_bucket(self, samples):
+        buckets = delays_by_bucket(samples)
+        medians = {b: float(np.median(v)) for b, v in buckets.items()}
+        assert medians["co-located"] < medians["(0, 500km]"]
+        assert medians["(0, 500km]"] < medians[">10000km"]
+
+    def test_colocation_gap_over_quarter_second(self, samples):
+        buckets = delays_by_bucket(samples)
+        gap = float(np.median(buckets["(0, 500km]"]) - np.median(buckets["co-located"]))
+        assert gap > 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geolocation_study(np.random.default_rng(0), broadcasts_per_pair=0)
+
+
+class TestPaperPlaybackClaims:
+    def test_hls_prebuffer_optimization(self, campaign_traces):
+        """P=6 s matches P=9 s on stalling, at ~half the delay (§6)."""
+        from repro.core.playback import sweep_prebuffer
+
+        traces = hls_viewer_traces(campaign_traces, np.random.default_rng(1))
+        sweep = sweep_prebuffer(traces, [6.0, 9.0], unit_duration_s=3.0)
+        stall6 = float(np.median(sweep[6.0]["stall_ratio"]))
+        stall9 = float(np.median(sweep[9.0]["stall_ratio"]))
+        delay6 = float(np.median(sweep[6.0]["buffering_delay"]))
+        delay9 = float(np.median(sweep[9.0]["buffering_delay"]))
+        assert abs(stall6 - stall9) < 0.02
+        assert delay9 - delay6 > 1.5  # the paper's ~3 s saving
+
+    def test_rtmp_already_smooth(self, campaign_traces):
+        from repro.core.playback import sweep_prebuffer
+
+        traces = rtmp_viewer_traces(campaign_traces)
+        sweep = sweep_prebuffer(traces, [0.0, 1.0], unit_duration_s=0.04)
+        assert float(np.median(sweep[0.0]["stall_ratio"])) < 0.05
+        assert float(np.median(sweep[1.0]["stall_ratio"])) < 0.03
+
+
+class TestMeerkatProfile:
+    def test_meerkat_chunking_delay_is_3_6s(self):
+        """Meerkat's 3.6 s chunks (§5.2) show up directly in the chunking
+        component of its delay breakdown."""
+        from repro.platform.apps import MEERKAT_PROFILE
+
+        experiment = ControlledExperiment(
+            seed=9, duration_s=60.0, profile=MEERKAT_PROFILE
+        )
+        _, hls = experiment.run(repetitions=2)
+        assert hls.components["chunking"] == pytest.approx(3.56, abs=0.3)
+
+    def test_meerkat_hls_total_exceeds_periscope(self):
+        """Bigger chunks -> more delay, all else equal."""
+        from repro.platform.apps import MEERKAT_PROFILE, PERISCOPE_PROFILE
+
+        _, meerkat = ControlledExperiment(
+            seed=9, duration_s=60.0, profile=MEERKAT_PROFILE
+        ).run(repetitions=2)
+        _, periscope = ControlledExperiment(
+            seed=9, duration_s=60.0, profile=PERISCOPE_PROFILE
+        ).run(repetitions=2)
+        assert meerkat.components["chunking"] > periscope.components["chunking"]

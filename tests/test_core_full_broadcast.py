@@ -1,0 +1,72 @@
+"""Tests for the full-system single-broadcast simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.full_broadcast import FullBroadcastResult, FullBroadcastSimulation
+
+
+@pytest.fixture(scope="module")
+def result() -> FullBroadcastResult:
+    return FullBroadcastSimulation(n_viewers=180, duration_s=30.0, moment_time_s=22.0).run()
+
+
+class TestFullBroadcast:
+    def test_tier_split_honours_threshold(self, result):
+        assert result.rtmp.viewers == 100
+        assert result.hls.viewers == 80
+        assert result.total_viewers == 180
+
+    def test_interactive_fraction(self, result):
+        assert result.interactive_fraction == pytest.approx(100 / 180)
+
+    def test_rtmp_lag_far_below_hls_lag(self, result):
+        assert result.rtmp.mean_video_lag_s < 0.5
+        assert result.hls.mean_video_lag_s > 2.0
+        assert result.hls.mean_video_lag_s > 5 * result.rtmp.mean_video_lag_s
+
+    def test_heart_staleness_tracks_video_lag(self, result):
+        """Hearts arrive staleness ~ video lag + reaction + channel."""
+        assert result.rtmp.mean_heart_staleness_s > result.rtmp.mean_video_lag_s
+        assert result.hls.mean_heart_staleness_s > result.hls.mean_video_lag_s
+        assert (
+            result.hls.mean_heart_staleness_s
+            > result.rtmp.mean_heart_staleness_s + 2.0
+        )
+
+    def test_comment_eligibility_is_the_rtmp_tier(self, result):
+        """The first 100 joiners hold both the RTMP slots and the comment
+        rights — the coupling the paper criticizes."""
+        assert result.rtmp.can_comment == 100
+        assert result.hls.can_comment == 0
+
+    def test_hearts_recorded_on_service(self, result):
+        assert result.hearts_received > 0
+
+    def test_server_work_split(self, result):
+        # Per-viewer push work dwarfs per-viewer poll work.
+        pushes_per_rtmp_viewer = result.server_frame_pushes / result.rtmp.viewers
+        polls_per_hls_viewer = result.server_polls / result.hls.viewers
+        assert pushes_per_rtmp_viewer > 20 * polls_per_hls_viewer
+
+    def test_deterministic(self):
+        a = FullBroadcastSimulation(n_viewers=60, duration_s=15.0, moment_time_s=10.0, seed=5).run()
+        b = FullBroadcastSimulation(n_viewers=60, duration_s=15.0, moment_time_s=10.0, seed=5).run()
+        assert a.hearts_received == b.hearts_received
+        assert a.rtmp.mean_video_lag_s == b.rtmp.mean_video_lag_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FullBroadcastSimulation(n_viewers=0)
+        with pytest.raises(ValueError):
+            FullBroadcastSimulation(duration_s=10.0, moment_time_s=20.0)
+
+    def test_small_audience_is_all_rtmp(self):
+        small = FullBroadcastSimulation(
+            n_viewers=20, duration_s=15.0, moment_time_s=10.0, seed=3
+        ).run()
+        assert small.hls.viewers == 0
+        assert small.rtmp.viewers == 20
+        assert np.isnan(small.hls.mean_video_lag_s)

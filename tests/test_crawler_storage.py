@@ -1,0 +1,108 @@
+"""Tests for dataset/trace persistence."""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import DelayMeasurementCampaign
+from repro.crawler.storage import load_dataset, load_traces, save_dataset, save_traces
+from repro.workload.trace import TraceConfig, TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return TraceGenerator(TraceConfig.periscope(scale=0.00003, seed=6)).generate().dataset
+
+
+@pytest.fixture(scope="module")
+def small_traces():
+    return DelayMeasurementCampaign(n_broadcasts=3, seed=6).run()
+
+
+class TestDatasetStorage:
+    def test_round_trip_preserves_aggregates(self, small_dataset, tmp_path):
+        path = tmp_path / "periscope.jsonl.gz"
+        save_dataset(small_dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.app_name == small_dataset.app_name
+        assert loaded.days == small_dataset.days
+        assert loaded.table1_row() == small_dataset.table1_row()
+
+    def test_round_trip_preserves_records(self, small_dataset, tmp_path):
+        path = tmp_path / "d.jsonl.gz"
+        save_dataset(small_dataset, path)
+        loaded = load_dataset(path)
+        original = small_dataset.records[0]
+        restored = loaded.records[0]
+        assert restored.broadcast_id == original.broadcast_id
+        assert restored.duration_s == original.duration_s
+        assert np.array_equal(restored.viewer_ids, original.viewer_ids)
+        assert restored.broadcaster_followers == original.broadcaster_followers
+
+    def test_file_is_gzip_jsonl(self, small_dataset, tmp_path):
+        path = tmp_path / "d.jsonl.gz"
+        save_dataset(small_dataset, path)
+        with gzip.open(path, "rt") as handle:
+            header = json.loads(handle.readline())
+        assert header["app_name"] == "Periscope"
+        assert header["record_count"] == len(small_dataset)
+
+    def test_truncated_file_detected(self, small_dataset, tmp_path):
+        path = tmp_path / "d.jsonl.gz"
+        save_dataset(small_dataset, path)
+        with gzip.open(path, "rt") as handle:
+            lines = handle.readlines()
+        with gzip.open(path, "wt") as handle:
+            handle.writelines(lines[:-2])  # drop records, keep header count
+        with pytest.raises(ValueError, match="truncated"):
+            load_dataset(path)
+
+    def test_bad_version_detected(self, tmp_path):
+        path = tmp_path / "d.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(json.dumps({"format_version": 99, "app_name": "x", "days": 1}) + "\n")
+        with pytest.raises(ValueError, match="version"):
+            load_dataset(path)
+
+    def test_empty_file_detected(self, tmp_path):
+        path = tmp_path / "d.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("")
+        with pytest.raises(ValueError, match="empty"):
+            load_dataset(path)
+
+
+class TestTraceStorage:
+    def test_round_trip(self, small_traces, tmp_path):
+        path = tmp_path / "traces.npz"
+        save_traces(list(small_traces), path)
+        loaded = load_traces(path)
+        assert len(loaded) == len(small_traces)
+        for original, restored in zip(small_traces, loaded):
+            assert restored.broadcast_id == original.broadcast_id
+            assert restored.duration_s == pytest.approx(original.duration_s)
+            assert np.allclose(restored.frame_arrivals, original.frame_arrivals)
+            assert np.allclose(restored.chunk_availability, original.chunk_availability)
+            assert restored.chunk_duration_s == original.chunk_duration_s
+
+    def test_loaded_traces_drive_analyses(self, small_traces, tmp_path):
+        """Persisted traces must feed the §6 simulations unchanged."""
+        from repro.core.playback import PlaybackConfig, simulate_playback
+
+        path = tmp_path / "traces.npz"
+        save_traces(list(small_traces), path)
+        loaded = load_traces(path)
+        config = PlaybackConfig(prebuffer_s=1.0, unit_duration_s=0.04)
+        for original, restored in zip(small_traces, loaded):
+            a = simulate_playback(original.frame_arrivals, config)
+            b = simulate_playback(restored.frame_arrivals, config)
+            assert a.stall_ratio == b.stall_ratio
+            assert a.mean_buffering_delay_s == pytest.approx(b.mean_buffering_delay_s)
+
+    def test_empty_save_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_traces([], tmp_path / "x.npz")

@@ -1,0 +1,73 @@
+"""Smoke tests: the example scripts run end to end and say what they claim.
+
+Each example is the library's public face; these tests run the fast ones
+as subprocesses (fresh interpreter, no shared caches) and check their
+headline output.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, timeout: int = 180) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr
+    return process.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "broadcasts:" in out
+        assert "mean network delay, RTMP (push):" in out
+        assert "HLS pays" in out
+
+    def test_stream_hijacking_demo(self):
+        out = _run("stream_hijacking_demo.py")
+        assert "ATTACK SUCCEEDED" in out
+        assert "attack defeated/absent" in out
+        assert "RTMPS / full TLS" in out
+
+    def test_celebrity_broadcast(self):
+        out = _run("celebrity_broadcast.py")
+        assert "RTMP (interactive) tier: 100 viewers" in out
+        assert "staleness" in out
+
+    def test_overlay_multicast(self):
+        out = _run("overlay_multicast.py")
+        assert "delivery architectures compared" in out
+        assert "overlay" in out
+
+    def test_growth_planning(self):
+        out = _run("growth_planning.py")
+        assert "growth projection" in out
+        assert "offered load" in out
+
+    @pytest.mark.slow
+    def test_buffer_tuning(self):
+        out = _run("buffer_tuning.py", timeout=300)
+        assert "recommendation:" in out
+        assert "adaptive policy" in out
+
+    @pytest.mark.slow
+    def test_crawl_coverage(self):
+        out = _run("crawl_coverage.py", timeout=300)
+        assert "coverage" in out
+        assert "0.25s" in out
+
+    def test_dataset_release(self):
+        out = _run("dataset_release.py")
+        assert "release verified" in out
+        assert "pseudonymous viewer IDs" in out

@@ -1,0 +1,49 @@
+"""Tests for the shared experiment-input cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import context
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    context.clear_caches()
+    yield
+    context.clear_caches()
+
+
+class TestContextCaches:
+    def test_periscope_trace_cached_per_parameters(self):
+        a = context.periscope_trace(0.00005, 3)
+        b = context.periscope_trace(0.00005, 3)
+        assert a is b  # same object, generated once
+
+    def test_different_parameters_different_traces(self):
+        a = context.periscope_trace(0.00005, 3)
+        b = context.periscope_trace(0.00005, 4)
+        assert a is not b
+        assert a.dataset.total_views != b.dataset.total_views
+
+    def test_clear_caches_forces_regeneration(self):
+        a = context.periscope_trace(0.00005, 3)
+        context.clear_caches()
+        b = context.periscope_trace(0.00005, 3)
+        assert a is not b
+        # Determinism: regenerated trace is identical in content.
+        assert a.dataset.table1_row() == b.dataset.table1_row()
+
+    def test_meerkat_scale_boost_applied(self):
+        trace = context.meerkat_trace(0.0005, 3)
+        assert trace.config.scale == pytest.approx(0.0005 * context.MEERKAT_SCALE_BOOST)
+
+    def test_meerkat_boost_capped_at_full_scale(self):
+        trace = context.meerkat_trace(0.2, 3)
+        assert trace.config.scale == 1.0
+
+    def test_delay_traces_cached(self):
+        a = context.delay_traces(3, 5)
+        b = context.delay_traces(3, 5)
+        assert a is b
+        assert len(a) == 3

@@ -1,0 +1,220 @@
+"""Tests for the geographic substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.coordinates import GeoPoint, haversine_km
+from repro.geo.datacenters import (
+    FASTLY_DATACENTERS,
+    WOWZA_DATACENTERS,
+    colocated_fastly,
+    colocated_pairs,
+    nearest_datacenter,
+)
+from repro.geo.latency import LatencyModel, distance_bucket
+from repro.geo.regions import POPULATION_CENTERS, sample_user_location
+
+geopoints = st.builds(
+    GeoPoint,
+    lat=st.floats(-90, 90, allow_nan=False),
+    lon=st.floats(-180, 180, allow_nan=False),
+)
+
+
+class TestGeoPoint:
+    def test_rejects_bad_latitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+
+    def test_rejects_bad_longitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 181.0)
+
+    def test_distance_to_self_is_zero(self):
+        point = GeoPoint(34.05, -118.24)
+        assert point.distance_km(point) == 0.0
+
+    def test_known_distance_la_to_ny(self):
+        la = GeoPoint(34.05, -118.24)
+        ny = GeoPoint(40.71, -74.01)
+        assert haversine_km(la, ny) == pytest.approx(3936, rel=0.02)
+
+    @given(a=geopoints, b=geopoints)
+    @settings(max_examples=60, deadline=None)
+    def test_distance_symmetric_and_bounded(self, a, b):
+        d_ab = haversine_km(a, b)
+        d_ba = haversine_km(b, a)
+        assert d_ab == pytest.approx(d_ba, abs=1e-6)
+        assert 0 <= d_ab <= 20_100  # half Earth circumference + slack
+
+    @given(a=geopoints, b=geopoints, c=geopoints)
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert haversine_km(a, c) <= haversine_km(a, b) + haversine_km(b, c) + 1e-6
+
+
+class TestDatacenterCatalogs:
+    def test_catalog_sizes_match_paper(self):
+        assert len(WOWZA_DATACENTERS) == 8
+        assert len(FASTLY_DATACENTERS) == 23
+
+    def test_six_of_eight_colocated(self):
+        assert len(colocated_pairs()) == 6
+
+    def test_seven_of_eight_same_continent(self):
+        fastly_continents = {dc.continent for dc in FASTLY_DATACENTERS}
+        same = [dc for dc in WOWZA_DATACENTERS if dc.continent in fastly_continents]
+        assert len(same) == 7
+
+    def test_south_america_is_the_exception(self):
+        missing = [
+            dc
+            for dc in WOWZA_DATACENTERS
+            if dc.continent not in {f.continent for f in FASTLY_DATACENTERS}
+        ]
+        assert [dc.continent for dc in missing] == ["South America"]
+
+    def test_operators_are_consistent(self):
+        assert all(dc.operator == "wowza" for dc in WOWZA_DATACENTERS)
+        assert all(dc.operator == "fastly" for dc in FASTLY_DATACENTERS)
+
+    def test_nearest_datacenter_picks_same_city(self):
+        tokyo = GeoPoint(35.68, 139.69)
+        assert nearest_datacenter(tokyo, WOWZA_DATACENTERS).city == "Tokyo"
+
+    def test_nearest_datacenter_rejects_empty(self):
+        with pytest.raises(ValueError):
+            nearest_datacenter(GeoPoint(0, 0), [])
+
+    def test_colocated_gateway_prefers_same_city(self):
+        frankfurt = next(dc for dc in WOWZA_DATACENTERS if dc.city == "Frankfurt")
+        assert colocated_fastly(frankfurt).city == "Frankfurt"
+
+    def test_sao_paulo_gateway_falls_back_to_nearest(self):
+        sao_paulo = next(dc for dc in WOWZA_DATACENTERS if dc.city == "Sao Paulo")
+        gateway = colocated_fastly(sao_paulo)
+        assert gateway.city != "Sao Paulo"
+        # Nearest POP to Sao Paulo in the 2015 catalog is in North America.
+        assert gateway.continent == "North America"
+
+    def test_datacenter_keys_unique(self):
+        keys = [dc.key for dc in WOWZA_DATACENTERS + FASTLY_DATACENTERS]
+        assert len(keys) == len(set(keys))
+
+
+class TestDistanceBuckets:
+    def test_colocated(self):
+        assert distance_bucket(0.0) == "co-located"
+        assert distance_bucket(0.5) == "co-located"
+
+    def test_boundaries(self):
+        assert distance_bucket(100.0) == "(0, 500km]"
+        assert distance_bucket(500.0) == "(0, 500km]"
+        assert distance_bucket(501.0) == "(500, 5000km]"
+        assert distance_bucket(9_999.0) == "(5000, 10000km]"
+        assert distance_bucket(15_000.0) == ">10000km"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            distance_bucket(-1.0)
+
+
+class TestLatencyModel:
+    def test_propagation_grows_with_distance(self):
+        model = LatencyModel(jitter_sigma=0.0)
+        near = model.propagation_s(GeoPoint(0, 0), GeoPoint(0, 1))
+        far = model.propagation_s(GeoPoint(0, 0), GeoPoint(0, 90))
+        assert far > near
+
+    def test_base_delay_floor(self):
+        model = LatencyModel(jitter_sigma=0.0, base_delay_s=0.002)
+        point = GeoPoint(10, 10)
+        assert model.propagation_s(point, point) == pytest.approx(0.002)
+
+    def test_transcontinental_magnitude(self):
+        model = LatencyModel(jitter_sigma=0.0)
+        la, ny = GeoPoint(34.05, -118.24), GeoPoint(40.71, -74.01)
+        one_way = model.propagation_s(la, ny)
+        assert 0.02 < one_way < 0.08  # tens of ms across the US
+
+    def test_jitter_disabled_is_deterministic(self):
+        model = LatencyModel(jitter_sigma=0.0)
+        rng = np.random.default_rng(0)
+        a, b = GeoPoint(0, 0), GeoPoint(10, 10)
+        assert model.one_way_s(a, b, rng) == model.one_way_s(a, b, rng)
+
+    def test_jitter_varies_samples(self):
+        model = LatencyModel(jitter_sigma=0.3)
+        rng = np.random.default_rng(0)
+        a, b = GeoPoint(0, 0), GeoPoint(10, 10)
+        samples = {model.one_way_s(a, b, rng) for _ in range(10)}
+        assert len(samples) == 10
+
+    def test_rtt_is_about_twice_one_way(self):
+        model = LatencyModel(jitter_sigma=0.0)
+        rng = np.random.default_rng(0)
+        a, b = GeoPoint(0, 0), GeoPoint(20, 20)
+        assert model.rtt_s(a, b, rng) == pytest.approx(
+            2 * model.propagation_s(a, b), rel=1e-9
+        )
+
+
+class TestRegions:
+    def test_weights_are_normalized_internally(self):
+        rng = np.random.default_rng(0)
+        # Should not raise even though raw weights do not sum to exactly 1.
+        for _ in range(10):
+            sample_user_location(rng)
+
+    def test_locations_are_valid(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            point = sample_user_location(rng)
+            assert -90 <= point.lat <= 90
+            assert -180 <= point.lon <= 180
+
+    def test_most_users_near_some_population_center(self):
+        rng = np.random.default_rng(0)
+        centers = [region.center for region in POPULATION_CENTERS]
+        near = 0
+        for _ in range(300):
+            point = sample_user_location(rng)
+            if min(point.distance_km(c) for c in centers) < 1500:
+                near += 1
+        assert near > 270  # the vast majority scatter near a metro
+
+
+class TestDec2015Expansion:
+    def test_expanded_catalog_size(self):
+        from repro.geo.datacenters import FASTLY_DATACENTERS_DEC2015
+
+        assert len(FASTLY_DATACENTERS_DEC2015) == 26
+
+    def test_sao_paulo_gains_local_gateway(self):
+        """Footnote 6's counterfactual: with the Dec 2015 POPs, the Sao
+        Paulo Wowza DC finally gets a co-located gateway, closing the one
+        continent gap the paper measured."""
+        from repro.geo.datacenters import FASTLY_DATACENTERS_DEC2015, colocated_fastly
+
+        sao = next(dc for dc in WOWZA_DATACENTERS if dc.city == "Sao Paulo")
+        gateway = colocated_fastly(sao, FASTLY_DATACENTERS_DEC2015)
+        assert gateway.city == "Sao Paulo"
+
+    def test_expansion_shortens_south_american_last_mile(self):
+        """Pre-expansion a Sao Paulo viewer anycasts to Miami (~6500 km);
+        with GRU online the last mile becomes metro-local."""
+        from repro.geo.datacenters import FASTLY_DATACENTERS_DEC2015
+
+        viewer = GeoPoint(-23.6, -46.6)
+        before = nearest_datacenter(viewer, FASTLY_DATACENTERS)
+        after = nearest_datacenter(viewer, FASTLY_DATACENTERS_DEC2015)
+        assert before.city == "Miami"
+        assert after.city == "Sao Paulo"
+        model = LatencyModel(jitter_sigma=0.0)
+        assert model.propagation_s(viewer, after.location) < (
+            0.2 * model.propagation_s(viewer, before.location)
+        )

@@ -1,0 +1,105 @@
+"""Tests for the M3U8 playlist wire format."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.hls import Chunklist
+from repro.protocols.m3u8 import (
+    M3u8ParseError,
+    parse_playlist,
+    playlist_to_chunklist,
+    render_chunklist,
+)
+
+
+def _chunklist(first_index: int = 0, count: int = 4, duration: float = 3.0) -> Chunklist:
+    chunklist = Chunklist(max_entries=6)
+    for index in range(first_index, first_index + count):
+        chunklist.append(index, duration, now=float(index) * duration)
+    return chunklist
+
+
+class TestRender:
+    def test_header_and_tags(self):
+        text = render_chunklist(_chunklist(), broadcast_id=7)
+        lines = text.splitlines()
+        assert lines[0] == "#EXTM3U"
+        assert "#EXT-X-TARGETDURATION:3" in lines
+        assert "#EXT-X-MEDIA-SEQUENCE:0" in lines
+        assert "chunk_7_0.ts" in lines
+
+    def test_media_sequence_advances_with_window(self):
+        chunklist = Chunklist(max_entries=3)
+        for index in range(8):
+            chunklist.append(index, 3.0, now=float(index) * 3.0)
+        text = render_chunklist(chunklist, broadcast_id=1)
+        assert "#EXT-X-MEDIA-SEQUENCE:5" in text
+        assert "chunk_1_5.ts" in text
+        assert "chunk_1_4.ts" not in text
+
+    def test_no_endlist_on_live_playlist(self):
+        assert "#EXT-X-ENDLIST" not in render_chunklist(_chunklist(), 1)
+
+
+class TestParse:
+    def test_round_trip(self):
+        chunklist = _chunklist(first_index=3, count=4, duration=3.0)
+        playlist = parse_playlist(render_chunklist(chunklist, broadcast_id=2))
+        assert playlist.media_sequence == 3
+        assert playlist.segment_count == 4
+        assert playlist.latest_chunk_index() == 6
+        assert playlist.segments[0] == (3.0, "chunk_2_3.ts")
+
+    def test_rebuilt_chunklist_matches(self):
+        chunklist = _chunklist(first_index=2, count=3)
+        playlist = parse_playlist(render_chunklist(chunklist, broadcast_id=1))
+        rebuilt = playlist_to_chunklist(playlist, now=10.0)
+        assert [e.chunk_index for e in rebuilt.entries] == [2, 3, 4]
+        assert rebuilt.latest_index == chunklist.latest_index
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(M3u8ParseError):
+            parse_playlist("#EXT-X-VERSION:3\n")
+
+    def test_missing_target_duration_rejected(self):
+        with pytest.raises(M3u8ParseError):
+            parse_playlist("#EXTM3U\n#EXTINF:3.0,\nchunk_1_0.ts\n")
+
+    def test_endlist_rejected_for_live(self):
+        text = render_chunklist(_chunklist(), 1) + "#EXT-X-ENDLIST\n"
+        with pytest.raises(M3u8ParseError):
+            parse_playlist(text)
+
+    def test_segment_without_extinf_rejected(self):
+        with pytest.raises(M3u8ParseError):
+            parse_playlist("#EXTM3U\n#EXT-X-TARGETDURATION:3\nchunk_1_0.ts\n")
+
+    def test_dangling_extinf_rejected(self):
+        with pytest.raises(M3u8ParseError):
+            parse_playlist("#EXTM3U\n#EXT-X-TARGETDURATION:3\n#EXTINF:3.0,\n")
+
+    def test_unknown_tags_ignored(self):
+        text = render_chunklist(_chunklist(), 1) + "#EXT-X-SOMETHING:new\n"
+        playlist = parse_playlist(text)
+        assert playlist.segment_count == 4
+
+    @given(
+        first=st.integers(0, 500),
+        count=st.integers(1, 6),
+        duration=st.floats(0.5, 10.0),
+        broadcast_id=st.integers(1, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, first, count, duration, broadcast_id):
+        chunklist = Chunklist(max_entries=6)
+        for index in range(first, first + count):
+            chunklist.append(index, duration, now=float(index))
+        playlist = parse_playlist(render_chunklist(chunklist, broadcast_id))
+        assert playlist.media_sequence == first
+        assert playlist.segment_count == count
+        assert playlist.latest_chunk_index() == chunklist.latest_index
+        for seg_duration, _uri in playlist.segments:
+            assert seg_duration == pytest.approx(duration, abs=1e-3)

@@ -1,0 +1,147 @@
+"""Tests for the RTMP wire format (including property-based round-trips)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.frames import VideoFrame
+from repro.protocols.rtmp import (
+    RtmpHandshake,
+    RtmpPacket,
+    RtmpPacketType,
+    RtmpParseError,
+    parse_rtmp_packet,
+)
+
+packets = st.builds(
+    RtmpPacket,
+    packet_type=st.sampled_from(list(RtmpPacketType)),
+    token=st.text(min_size=0, max_size=40),
+    sequence=st.integers(0, 2**32 - 1),
+    timestamp=st.floats(allow_nan=False, allow_infinity=False, width=64),
+    is_keyframe=st.booleans(),
+    signature=st.none() | st.binary(max_size=64),
+    body=st.binary(max_size=256),
+)
+
+
+class TestEncodeDecode:
+    def test_video_round_trip(self):
+        packet = RtmpPacket(
+            packet_type=RtmpPacketType.VIDEO,
+            token="tok-123",
+            sequence=42,
+            timestamp=1.68,
+            is_keyframe=True,
+            body=b"frame-bytes",
+        )
+        assert parse_rtmp_packet(packet.encode()) == packet
+
+    def test_connect_round_trip(self):
+        packet = RtmpPacket.connect("secret-token")
+        assert parse_rtmp_packet(packet.encode()) == packet
+
+    def test_signature_round_trip(self):
+        packet = RtmpPacket(
+            packet_type=RtmpPacketType.VIDEO,
+            token="t",
+            sequence=1,
+            timestamp=0.0,
+            signature=b"\x01" * 32,
+            body=b"x",
+        )
+        decoded = parse_rtmp_packet(packet.encode())
+        assert decoded.signature == b"\x01" * 32
+
+    @given(packet=packets)
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_property(self, packet):
+        assert parse_rtmp_packet(packet.encode()) == packet
+
+    def test_token_is_plaintext_on_the_wire(self):
+        """The §7.1 vulnerability: anyone on the path reads the token."""
+        wire = RtmpPacket.connect("super-secret-broadcast-token").encode()
+        assert b"super-secret-broadcast-token" in wire
+
+    def test_body_is_plaintext_on_the_wire(self):
+        wire = RtmpPacket(
+            packet_type=RtmpPacketType.VIDEO, token="t", body=b"VIDEO-PAYLOAD"
+        ).encode()
+        assert b"VIDEO-PAYLOAD" in wire
+
+
+class TestParserRobustness:
+    def test_bad_magic_rejected(self):
+        wire = bytearray(RtmpPacket.connect("t").encode())
+        wire[0] = 0x00
+        with pytest.raises(RtmpParseError):
+            parse_rtmp_packet(bytes(wire))
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(RtmpParseError):
+            parse_rtmp_packet(b"RM")
+
+    def test_truncated_body_rejected(self):
+        wire = RtmpPacket(
+            packet_type=RtmpPacketType.VIDEO, token="t", body=b"0123456789"
+        ).encode()
+        with pytest.raises(RtmpParseError):
+            parse_rtmp_packet(wire[:-3])
+
+    def test_trailing_bytes_rejected(self):
+        wire = RtmpPacket.connect("t").encode() + b"JUNK"
+        with pytest.raises(RtmpParseError):
+            parse_rtmp_packet(wire)
+
+    def test_unknown_type_rejected(self):
+        wire = bytearray(RtmpPacket.connect("t").encode())
+        wire[3] = 99
+        with pytest.raises(RtmpParseError):
+            parse_rtmp_packet(bytes(wire))
+
+    @given(noise=st.binary(max_size=80))
+    @settings(max_examples=100, deadline=None)
+    def test_random_bytes_never_crash(self, noise):
+        try:
+            parse_rtmp_packet(noise)
+        except RtmpParseError:
+            pass  # rejection is the expected outcome
+
+
+class TestFrameConversion:
+    def test_from_frame_to_frame(self):
+        frame = VideoFrame(
+            sequence=7, capture_time=0.28, is_keyframe=True, payload=b"abc"
+        )
+        packet = RtmpPacket.from_frame("tok", frame)
+        recovered = packet.to_frame()
+        assert recovered.sequence == 7
+        assert recovered.capture_time == 0.28
+        assert recovered.is_keyframe
+        assert recovered.payload == b"abc"
+
+    def test_to_frame_rejects_non_video(self):
+        with pytest.raises(ValueError):
+            RtmpPacket.connect("t").to_frame()
+
+    def test_with_body_preserves_metadata(self):
+        packet = RtmpPacket(
+            packet_type=RtmpPacketType.VIDEO,
+            token="t",
+            sequence=5,
+            timestamp=0.2,
+            body=b"original",
+        )
+        swapped = packet.with_body(b"tampered")
+        assert swapped.body == b"tampered"
+        assert swapped.sequence == 5
+        assert swapped.token == "t"
+
+
+class TestHandshake:
+    def test_connect_packet_carries_token(self):
+        handshake = RtmpHandshake(token="tok-xyz")
+        assert handshake.connect_packet().token == "tok-xyz"
+        assert not handshake.encrypted

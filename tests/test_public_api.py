@@ -1,0 +1,76 @@
+"""API-surface regression tests.
+
+Every subpackage's ``__all__`` must resolve to a real attribute, and the
+documented entry points must exist — so a refactor cannot silently break
+the public API the README and examples rely on.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.simulation",
+    "repro.geo",
+    "repro.social",
+    "repro.platform",
+    "repro.workload",
+    "repro.protocols",
+    "repro.cdn",
+    "repro.client",
+    "repro.crawler",
+    "repro.core",
+    "repro.overlay",
+    "repro.security",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+class TestPublicApi:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_names_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        exported = getattr(package, "__all__", [])
+        assert exported, f"{package_name} exports nothing"
+        for name in exported:
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_package_has_docstring(self, package_name):
+        package = importlib.import_module(package_name)
+        assert package.__doc__ and len(package.__doc__.strip()) > 40
+
+    def test_documented_entry_points(self):
+        import repro
+
+        assert callable(repro.run_experiment)
+        assert callable(repro.list_experiments)
+        assert isinstance(repro.__version__, str)
+
+    def test_public_classes_have_docstrings(self):
+        """Every exported class/function carries a doc comment."""
+        undocumented = []
+        for package_name in PACKAGES:
+            package = importlib.import_module(package_name)
+            for name in getattr(package, "__all__", []):
+                obj = getattr(package, name)
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    if not (obj.__doc__ or "").strip():
+                        undocumented.append(f"{package_name}.{name}")
+        assert not undocumented, f"missing docstrings: {undocumented}"
+
+    def test_cli_module_importable(self):
+        from repro import cli
+
+        parser = cli.build_parser()
+        assert parser.prog == "repro"
+
+    def test_validation_module_importable(self):
+        from repro import validation
+
+        assert len(validation.CLAIMS) >= 20

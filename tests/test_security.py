@@ -1,0 +1,396 @@
+"""Tests for the §7 attack and defense stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols.frames import VideoFrame
+from repro.protocols.rtmp import RtmpPacket, RtmpPacketType, parse_rtmp_packet
+from repro.security.arp_spoof import ArpSpoofer
+from repro.security.experiment import (
+    TamperExperiment,
+    run_attack_matrix,
+    stopwatch_payload,
+)
+from repro.security.lan import GatewayHost, Lan, LanHost
+from repro.security.signing import (
+    ChainedSigner,
+    ChainedVerifier,
+    SelectiveSigner,
+    SigningCostModel,
+    StreamKeyExchange,
+    StreamSigner,
+    StreamVerifier,
+)
+from repro.security.tamper import BLACK_FRAME_PAYLOAD, RtmpTamperer
+
+
+def _frame(sequence: int, payload: bytes = b"content") -> VideoFrame:
+    return VideoFrame(sequence=sequence, capture_time=sequence * 0.04, payload=payload)
+
+
+class TestLan:
+    def _basic_lan(self):
+        lan = Lan()
+        received = []
+        gateway = GatewayHost(
+            "gw", "02:00:00:00:00:01", "192.168.1.1", lan,
+            upstream=received.append,
+        )
+        host_a = LanHost("a", "02:00:00:00:00:02", "192.168.1.10", lan,
+                         gateway_ip="192.168.1.1")
+        host_b = LanHost("b", "02:00:00:00:00:03", "192.168.1.11", lan)
+        return lan, gateway, host_a, host_b, received
+
+    def test_arp_resolution(self):
+        lan, gateway, host_a, host_b, _ = self._basic_lan()
+        assert host_a.resolve_mac("192.168.1.11") == host_b.mac
+        assert host_a.arp_table["192.168.1.11"] == host_b.mac
+
+    def test_intra_lan_delivery(self):
+        lan, gateway, host_a, host_b, _ = self._basic_lan()
+        host_a.send_ip("192.168.1.11", b"hello")
+        assert len(host_b.packets_received) == 1
+        assert host_b.packets_received[0].payload == b"hello"
+
+    def test_off_subnet_via_gateway(self):
+        lan, gateway, host_a, host_b, upstream = self._basic_lan()
+        host_a.send_ip("54.0.0.10", b"wan-bound")
+        assert len(upstream) == 1
+        assert upstream[0].dst_ip == "54.0.0.10"
+
+    def test_no_route_without_gateway(self):
+        lan, gateway, host_a, host_b, _ = self._basic_lan()
+        with pytest.raises(RuntimeError):
+            host_b.send_ip("54.0.0.10", b"x")  # host_b has no gateway_ip
+
+    def test_unsolicited_arp_reply_accepted(self):
+        """The cache-poisoning weakness the attack exploits."""
+        lan, gateway, host_a, host_b, _ = self._basic_lan()
+        host_a.resolve_mac("192.168.1.1")
+        attacker = ArpSpoofer("evil", "02:00:00:00:00:66", "192.168.1.66", lan)
+        attacker.poison(host_a, "192.168.1.1")
+        assert host_a.arp_table["192.168.1.1"] == attacker.mac
+
+    def test_gateway_injects_wan_replies(self):
+        lan, gateway, host_a, host_b, _ = self._basic_lan()
+        gateway.inject_from_wan("192.168.1.10", b"reply")
+        assert host_a.packets_received[-1].payload == b"reply"
+
+    def test_duplicate_mac_rejected(self):
+        lan = Lan()
+        LanHost("a", "02:00:00:00:00:02", "10.0.0.1", lan)
+        with pytest.raises(ValueError):
+            LanHost("b", "02:00:00:00:00:02", "10.0.0.2", lan)
+
+
+class TestArpSpoofMitm:
+    def test_intercepts_and_relays(self):
+        lan = Lan()
+        upstream = []
+        GatewayHost("gw", "02:00:00:00:00:01", "192.168.1.1", lan, upstream.append)
+        victim = LanHost("v", "02:00:00:00:00:02", "192.168.1.10", lan,
+                         gateway_ip="192.168.1.1")
+        seen = []
+        attacker = ArpSpoofer(
+            "evil", "02:00:00:00:00:66", "192.168.1.66", lan,
+            transform=lambda b: (seen.append(b) or b.upper()),
+        )
+        victim.resolve_mac("192.168.1.1")
+        attacker.poison(victim, "192.168.1.1")
+        victim.send_ip("54.0.0.10", b"secret")
+        assert seen == [b"secret"]
+        assert upstream[0].payload == b"SECRET"  # modified in flight
+        assert len(attacker.intercepted) == 1
+
+    def test_without_poisoning_nothing_intercepted(self):
+        lan = Lan()
+        upstream = []
+        GatewayHost("gw", "02:00:00:00:00:01", "192.168.1.1", lan, upstream.append)
+        victim = LanHost("v", "02:00:00:00:00:02", "192.168.1.10", lan,
+                         gateway_ip="192.168.1.1")
+        attacker = ArpSpoofer("evil", "02:00:00:00:00:66", "192.168.1.66", lan)
+        victim.send_ip("54.0.0.10", b"secret")
+        assert attacker.intercepted == []
+        assert upstream[0].payload == b"secret"
+
+
+class TestTamperer:
+    def test_replaces_video_payload(self):
+        tamperer = RtmpTamperer()
+        packet = RtmpPacket.from_frame("tok", _frame(5))
+        out = parse_rtmp_packet(tamperer(packet.encode()))
+        assert out.body == BLACK_FRAME_PAYLOAD
+        assert out.sequence == 5
+        assert tamperer.packets_tampered == 1
+
+    def test_ignores_non_video_packets(self):
+        tamperer = RtmpTamperer()
+        wire = RtmpPacket.connect("tok").encode()
+        assert tamperer(wire) == wire
+        assert tamperer.packets_tampered == 0
+
+    def test_ignores_non_rtmp_bytes(self):
+        tamperer = RtmpTamperer()
+        assert tamperer(b"not-rtmp-at-all") == b"not-rtmp-at-all"
+
+    def test_start_sequence_gates_attack(self):
+        tamperer = RtmpTamperer(start_sequence=10)
+        early = parse_rtmp_packet(tamperer(RtmpPacket.from_frame("t", _frame(5)).encode()))
+        late = parse_rtmp_packet(tamperer(RtmpPacket.from_frame("t", _frame(15)).encode()))
+        assert early.body == b"content"
+        assert late.body == BLACK_FRAME_PAYLOAD
+
+    def test_collects_plaintext_tokens(self):
+        tamperer = RtmpTamperer()
+        tamperer(RtmpPacket.from_frame("secret-token", _frame(0)).encode())
+        assert "secret-token" in tamperer.tokens_observed
+
+    def test_custom_predicate(self):
+        tamperer = RtmpTamperer(predicate=lambda p: p.is_keyframe)
+        keyframe = VideoFrame(0, 0.0, is_keyframe=True, payload=b"k")
+        normal = VideoFrame(1, 0.04, payload=b"n")
+        out_key = parse_rtmp_packet(tamperer(RtmpPacket.from_frame("t", keyframe).encode()))
+        out_normal = parse_rtmp_packet(tamperer(RtmpPacket.from_frame("t", normal).encode()))
+        assert out_key.body == BLACK_FRAME_PAYLOAD
+        assert out_normal.body == b"n"
+
+
+class TestSigning:
+    def _pair(self):
+        exchange = StreamKeyExchange()
+        key = exchange.register("tok")
+        return StreamSigner("tok", key), StreamVerifier("tok", exchange.key_for("tok"))
+
+    def test_signed_frame_verifies(self):
+        signer, verifier = self._pair()
+        assert verifier.verify_frame(signer.sign_frame(_frame(0)))
+        assert verifier.verified == 1
+
+    def test_tampered_payload_rejected(self):
+        signer, verifier = self._pair()
+        signed = signer.sign_frame(_frame(0))
+        tampered = VideoFrame(
+            sequence=signed.sequence, capture_time=signed.capture_time,
+            payload=BLACK_FRAME_PAYLOAD, signature=signed.signature,
+        )
+        assert not verifier.verify_frame(tampered)
+        assert verifier.rejected == 1
+
+    def test_replayed_sequence_rejected(self):
+        """The signature binds position: frame 3's signature fails at seq 9."""
+        signer, verifier = self._pair()
+        signed = signer.sign_frame(_frame(3))
+        moved = VideoFrame(
+            sequence=9, capture_time=signed.capture_time,
+            payload=signed.payload, signature=signed.signature,
+        )
+        assert not verifier.verify_frame(moved)
+
+    def test_cross_broadcast_replay_rejected(self):
+        exchange = StreamKeyExchange()
+        key_a = exchange.register("tok-a")
+        signer = StreamSigner("tok-a", key_a)
+        verifier_b = StreamVerifier("tok-b", key_a)
+        assert not verifier_b.verify_frame(signer.sign_frame(_frame(0)))
+
+    def test_unsigned_frame_flagged(self):
+        _, verifier = self._pair()
+        assert not verifier.verify_frame(_frame(0))
+        assert verifier.unsigned == 1
+
+    def test_duplicate_key_registration_rejected(self):
+        exchange = StreamKeyExchange()
+        exchange.register("tok")
+        with pytest.raises(ValueError):
+            exchange.register("tok")
+
+    def test_unknown_token_key_lookup(self):
+        with pytest.raises(KeyError):
+            StreamKeyExchange().key_for("nope")
+
+    def test_selective_signer_stride(self):
+        exchange = StreamKeyExchange()
+        signer = SelectiveSigner("tok", exchange.register("tok"), stride=25)
+        signed = [signer.sign_frame(_frame(i)) for i in range(100)]
+        signatures = [f for f in signed if f.signature is not None]
+        assert len(signatures) == 4
+        assert signer.frames_signed == 4
+
+    def test_chained_signer_covers_window(self):
+        exchange = StreamKeyExchange()
+        key = exchange.register("tok")
+        signer = ChainedSigner("tok", key, window=10)
+        verifier = ChainedVerifier("tok", key, window=10)
+        verdicts = []
+        for i in range(30):
+            frame = signer.sign_frame(_frame(i))
+            verdict = verifier.observe_frame(frame)
+            if verdict is not None:
+                verdicts.append(verdict)
+        assert verdicts == [True, True, True]
+
+    def test_chained_detects_mid_window_tampering(self):
+        exchange = StreamKeyExchange()
+        key = exchange.register("tok")
+        signer = ChainedSigner("tok", key, window=10)
+        verifier = ChainedVerifier("tok", key, window=10)
+        verdicts = []
+        for i in range(10):
+            frame = _frame(i)
+            if i == 4:
+                frame = frame.with_payload(BLACK_FRAME_PAYLOAD)
+                signer.sign_frame(_frame(i))  # signer saw the original
+                verdict = verifier.observe_frame(frame)
+            else:
+                verdict = verifier.observe_frame(signer.sign_frame(frame))
+            if verdict is not None:
+                verdicts.append(verdict)
+        assert verdicts == [False]
+
+    def test_cost_model_ordering(self):
+        model = SigningCostModel()
+        frames = 25 * 60  # one minute of video
+        full = model.full_signing_cost(frames)
+        selective = model.selective_cost(frames, stride=25)
+        chained = model.chained_cost(frames, window=25)
+        tls = model.rtmps_cost(frames)
+        assert selective < chained < full < tls
+
+    def test_cost_model_validation(self):
+        model = SigningCostModel()
+        with pytest.raises(ValueError):
+            model.selective_cost(100, stride=0)
+        with pytest.raises(ValueError):
+            model.chained_cost(100, window=0)
+
+
+class TestTamperExperiment:
+    def test_attack_succeeds_without_defense(self):
+        result = TamperExperiment(frames=60, attack_from_sequence=30).run()
+        assert result.attack_succeeded
+        assert result.viewer_black_frames == 30
+        assert result.broadcaster_black_frames == 0
+        assert result.tokens_leaked  # plaintext token captured
+
+    def test_no_attack_baseline_clean(self):
+        result = TamperExperiment(frames=60, with_attack=False).run()
+        assert not result.attack_succeeded
+        assert result.viewer_black_frames == 0
+        assert result.viewer_frames == [stopwatch_payload(i) for i in range(60)]
+
+    def test_defense_blocks_attack(self):
+        result = TamperExperiment(
+            frames=60, attack_from_sequence=30, with_defense=True
+        ).run()
+        assert not result.attack_succeeded
+        assert result.viewer_black_frames == 0
+        assert result.tampered_detected == 30
+        # Untampered frames still reach the viewer.
+        assert result.viewer_frames == [stopwatch_payload(i) for i in range(30)]
+
+    def test_defense_without_attack_passes_everything(self):
+        result = TamperExperiment(frames=40, with_attack=False, with_defense=True).run()
+        assert len(result.viewer_frames) == 40
+        assert result.tampered_detected == 0
+
+    def test_attack_matrix_scenarios(self):
+        matrix = run_attack_matrix()
+        assert set(matrix) == {"no_attack", "attack", "attack_with_defense", "attack_with_rtmps"}
+        assert matrix["attack"].attack_succeeded
+        assert not matrix["attack_with_defense"].attack_succeeded
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TamperExperiment(frames=0)
+        with pytest.raises(ValueError):
+            TamperExperiment(frames=10, attack_from_sequence=-1)
+
+
+class TestTlsLikeChannel:
+    def _pair(self):
+        from repro.protocols.rtmps import TlsLikeChannel
+
+        secret = b"0123456789abcdef0123456789abcdef"
+        return TlsLikeChannel(secret), TlsLikeChannel(secret)
+
+    def test_round_trip(self):
+        sender, receiver = self._pair()
+        assert receiver.open(sender.seal(b"hello")) == b"hello"
+
+    def test_sequence_of_records(self):
+        sender, receiver = self._pair()
+        for i in range(10):
+            payload = f"frame-{i}".encode()
+            assert receiver.open(sender.seal(payload)) == payload
+
+    def test_ciphertext_hides_plaintext(self):
+        sender, _ = self._pair()
+        record = sender.seal(b"super-secret-broadcast-token")
+        assert b"super-secret-broadcast-token" not in record
+
+    def test_bit_flip_detected(self):
+        from repro.protocols.rtmps import TamperedRecordError
+
+        sender, receiver = self._pair()
+        record = bytearray(sender.seal(b"payload-bytes"))
+        record[10] ^= 0xFF
+        with pytest.raises(TamperedRecordError):
+            receiver.open(bytes(record))
+
+    def test_replay_detected(self):
+        from repro.protocols.rtmps import TamperedRecordError
+
+        sender, receiver = self._pair()
+        record = sender.seal(b"x")
+        receiver.open(record)
+        with pytest.raises(TamperedRecordError):
+            receiver.open(record)
+
+    def test_reorder_detected(self):
+        from repro.protocols.rtmps import TamperedRecordError
+
+        sender, receiver = self._pair()
+        first = sender.seal(b"a")
+        second = sender.seal(b"b")
+        del first
+        with pytest.raises(TamperedRecordError):
+            receiver.open(second)
+
+    def test_short_secret_rejected(self):
+        from repro.protocols.rtmps import TlsLikeChannel
+
+        with pytest.raises(ValueError):
+            TlsLikeChannel(b"short")
+
+    def test_truncated_record_rejected(self):
+        from repro.protocols.rtmps import TamperedRecordError
+
+        sender, receiver = self._pair()
+        with pytest.raises(TamperedRecordError):
+            receiver.open(sender.seal(b"x")[:20])
+
+
+class TestRtmpsScenario:
+    def test_rtmps_defeats_attack_entirely(self):
+        result = TamperExperiment(
+            frames=60, attack_from_sequence=30, with_rtmps=True
+        ).run()
+        assert not result.attack_succeeded
+        assert result.viewer_black_frames == 0
+        assert result.tampered_count == 0  # attacker could not even parse
+        assert not result.tokens_leaked  # confidentiality
+        assert len(result.viewer_frames) == 60  # nothing lost either
+
+    def test_rtmps_without_attack(self):
+        result = TamperExperiment(frames=30, with_attack=False, with_rtmps=True).run()
+        assert result.viewer_frames == [stopwatch_payload(i) for i in range(30)]
+
+    def test_both_countermeasures_rejected(self):
+        with pytest.raises(ValueError):
+            TamperExperiment(with_defense=True, with_rtmps=True)
+
+    def test_matrix_includes_rtmps(self):
+        matrix = run_attack_matrix()
+        assert "attack_with_rtmps" in matrix
+        assert not matrix["attack_with_rtmps"].tokens_leaked

@@ -1,0 +1,141 @@
+"""Tests (incl. property-based) for distribution helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.distributions import (
+    bounded_pareto,
+    discretize_counts,
+    lognormal_from_median,
+    sample_zipf,
+    truncated_normal,
+    zipf_weights,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestLognormalFromMedian:
+    def test_median_is_respected(self, rng):
+        samples = lognormal_from_median(rng, median=100.0, sigma=1.0, size=20_000)
+        assert np.median(samples) == pytest.approx(100.0, rel=0.05)
+
+    def test_zero_sigma_is_degenerate(self, rng):
+        samples = lognormal_from_median(rng, median=50.0, sigma=0.0, size=100)
+        assert np.allclose(samples, 50.0)
+
+    def test_rejects_nonpositive_median(self, rng):
+        with pytest.raises(ValueError):
+            lognormal_from_median(rng, median=0.0, sigma=1.0)
+
+    def test_rejects_negative_sigma(self, rng):
+        with pytest.raises(ValueError):
+            lognormal_from_median(rng, median=1.0, sigma=-0.1)
+
+    @given(median=st.floats(0.1, 1e4), sigma=st.floats(0.0, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_samples_always_positive(self, median, sigma):
+        rng = np.random.default_rng(0)
+        samples = lognormal_from_median(rng, median, sigma, size=50)
+        assert np.all(samples > 0)
+
+
+class TestBoundedPareto:
+    def test_samples_within_bounds(self, rng):
+        samples = bounded_pareto(rng, alpha=0.8, lower=1.0, upper=1000.0, size=10_000)
+        assert np.all(samples >= 1.0)
+        assert np.all(samples <= 1000.0)
+
+    def test_heavier_tail_with_smaller_alpha(self, rng):
+        light = bounded_pareto(rng, alpha=2.5, lower=1.0, upper=1e5, size=20_000)
+        heavy = bounded_pareto(rng, alpha=0.5, lower=1.0, upper=1e5, size=20_000)
+        assert np.mean(heavy) > np.mean(light)
+
+    def test_rejects_bad_bounds(self, rng):
+        with pytest.raises(ValueError):
+            bounded_pareto(rng, alpha=1.0, lower=10.0, upper=5.0)
+        with pytest.raises(ValueError):
+            bounded_pareto(rng, alpha=1.0, lower=0.0, upper=5.0)
+
+    def test_rejects_bad_alpha(self, rng):
+        with pytest.raises(ValueError):
+            bounded_pareto(rng, alpha=0.0, lower=1.0, upper=5.0)
+
+    @given(
+        alpha=st.floats(0.2, 3.0),
+        lower=st.floats(0.5, 10.0),
+        spread=st.floats(1.5, 100.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bounds_hold_for_any_parameters(self, alpha, lower, spread):
+        rng = np.random.default_rng(1)
+        upper = lower * spread
+        samples = bounded_pareto(rng, alpha, lower, upper, size=200)
+        assert np.all((samples >= lower) & (samples <= upper))
+
+
+class TestZipf:
+    def test_weights_sum_to_one(self):
+        assert zipf_weights(100, 1.0).sum() == pytest.approx(1.0)
+
+    def test_weights_decrease_with_rank(self):
+        weights = zipf_weights(50, 0.9)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_zero_exponent_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -1.0)
+
+    def test_sample_zipf_favours_low_ranks(self, rng):
+        samples = sample_zipf(rng, n=100, exponent=1.2, size=10_000)
+        low = np.mean(np.asarray(samples) < 10)
+        assert low > 0.4  # the head dominates
+
+    def test_sample_zipf_range(self, rng):
+        samples = np.asarray(sample_zipf(rng, n=20, exponent=1.0, size=1000))
+        assert samples.min() >= 0
+        assert samples.max() < 20
+
+
+class TestTruncatedNormal:
+    def test_respects_bounds(self, rng):
+        samples = truncated_normal(rng, mean=0.0, std=5.0, lower=-1.0, upper=1.0, size=5000)
+        assert np.all((samples >= -1.0) & (samples <= 1.0))
+
+    def test_scalar_output(self, rng):
+        value = truncated_normal(rng, mean=0.0, std=1.0, lower=-2.0, upper=2.0)
+        assert isinstance(value, float)
+
+    def test_rejects_inverted_bounds(self, rng):
+        with pytest.raises(ValueError):
+            truncated_normal(rng, 0.0, 1.0, lower=1.0, upper=-1.0)
+
+    @given(mean=st.floats(-5, 5), std=st.floats(0.1, 5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_bounds_hold_generally(self, mean, std):
+        rng = np.random.default_rng(2)
+        samples = truncated_normal(rng, mean, std, lower=-1.0, upper=1.0, size=100)
+        assert np.all((samples >= -1.0) & (samples <= 1.0))
+
+
+class TestDiscretizeCounts:
+    def test_rounds_to_integers(self):
+        out = discretize_counts(np.array([0.4, 0.6, 2.5, 3.49]))
+        assert out.dtype == np.int64
+        assert list(out) == [0, 1, 2, 3]
+
+    def test_clamps_negatives_to_zero(self):
+        assert list(discretize_counts(np.array([-3.2, -0.1]))) == [0, 0]

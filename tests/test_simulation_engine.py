@@ -1,0 +1,153 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.engine import EventQueue, SimulationError, Simulator
+
+
+class TestEventQueue:
+    def test_pop_returns_events_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, lambda: fired.append("c"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(2.0, lambda: fired.append("b"))
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        second = queue.push(1.0, lambda: None)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        assert queue.pop().time == 2.0
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        event.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_empty_queue_pops_none(self):
+        assert EventQueue().pop() is None
+        assert EventQueue().peek_time() is None
+
+
+class TestSimulator:
+    def test_runs_actions_in_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        observed = []
+        sim.schedule(1.5, lambda: observed.append(sim.now))
+        sim.schedule(4.0, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == [1.5, 4.0]
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_run_until_then_resume(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_actions_can_schedule_more_actions(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth: int) -> None:
+            fired.append(sim.now)
+            if depth > 0:
+                sim.schedule(1.0, lambda: chain(depth - 1))
+
+        sim.schedule(0.0, lambda: chain(3))
+        sim.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+    def test_schedule_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_the_past_raises(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_max_events_limits_processing(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        sim.run(max_events=4)
+        assert sim.events_processed == 4
+        assert sim.pending == 6
+
+    def test_start_time_respected(self):
+        sim = Simulator(start_time=100.0)
+        assert sim.now == 100.0
+        observed = []
+        sim.schedule(1.0, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == [101.0]
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+
+        def reenter() -> None:
+            sim.run()
+
+        sim.schedule(1.0, reenter)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_clock_never_goes_backwards(self):
+        sim = Simulator()
+        times = []
+        for delay in [5.0, 1.0, 3.0, 2.0, 4.0]:
+            sim.schedule(delay, lambda: times.append(sim.now))
+        sim.run()
+        assert times == sorted(times)

@@ -1,0 +1,199 @@
+"""Tests for follow-graph generation and Table 2 metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.social.generation import FollowGraphConfig, generate_follow_graph
+from repro.social.graph import FollowGraph
+from repro.social.metrics import (
+    TABLE2_REFERENCE,
+    average_clustering,
+    average_path_length,
+    compute_graph_metrics,
+    degree_assortativity,
+    local_clustering,
+)
+from repro.social.notifications import NotificationService
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestGeneration:
+    def test_node_count(self, rng):
+        graph = generate_follow_graph(FollowGraphConfig(n_nodes=500), rng)
+        assert graph.node_count == 500
+
+    def test_mean_degree_near_target(self, rng):
+        config = FollowGraphConfig(n_nodes=2000, mean_out_degree=10.0)
+        graph = generate_follow_graph(config, rng)
+        avg_total_degree = 2.0 * graph.edge_count / graph.node_count
+        assert avg_total_degree == pytest.approx(20.0, rel=0.35)
+
+    def test_heavy_tailed_in_degree(self, rng):
+        graph = generate_follow_graph(FollowGraphConfig(n_nodes=2000), rng)
+        in_degrees = sorted(graph.follower_count(n) for n in graph.nodes())
+        median = in_degrees[len(in_degrees) // 2]
+        assert in_degrees[-1] > 10 * max(median, 1)  # celebrities exist
+
+    def test_deterministic_for_same_seed(self):
+        config = FollowGraphConfig(n_nodes=300)
+        a = generate_follow_graph(config, np.random.default_rng(5))
+        b = generate_follow_graph(config, np.random.default_rng(5))
+        assert set(a.edges()) == set(b.edges())
+
+    def test_no_self_loops(self, rng):
+        graph = generate_follow_graph(FollowGraphConfig(n_nodes=400), rng)
+        assert all(u != v for u, v in graph.edges())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FollowGraphConfig(n_nodes=1)
+        with pytest.raises(ValueError):
+            FollowGraphConfig(n_nodes=100, seed_nodes=1)
+        with pytest.raises(ValueError):
+            FollowGraphConfig(n_nodes=100, pref_prob=0.8, triadic_prob=0.5)
+        with pytest.raises(ValueError):
+            FollowGraphConfig(n_nodes=100, reciprocation_prob=1.5)
+
+    def test_table2_shape_holds(self, rng):
+        """The generated graph shows the paper's structural signature."""
+        graph = generate_follow_graph(FollowGraphConfig(n_nodes=3000), rng)
+        metrics = compute_graph_metrics(graph, rng, clustering_sample=300, path_sample=20)
+        assert metrics.assortativity < 0.05  # Twitter-like, not Facebook-like
+        assert 0.02 < metrics.clustering_coefficient < 0.4
+        assert 2.0 < metrics.avg_path_length < 6.0
+
+
+class TestMetrics:
+    def test_local_clustering_triangle(self):
+        graph = FollowGraph.from_edges([(1, 2), (2, 3), (3, 1)])
+        assert local_clustering(graph, 1) == pytest.approx(1.0)
+
+    def test_local_clustering_star_is_zero(self):
+        graph = FollowGraph.from_edges([(1, 2), (1, 3), (1, 4)])
+        assert local_clustering(graph, 1) == 0.0
+
+    def test_local_clustering_degree_one(self):
+        graph = FollowGraph.from_edges([(1, 2)])
+        assert local_clustering(graph, 1) == 0.0
+
+    def test_average_clustering_bounds(self, rng):
+        graph = FollowGraph.from_edges([(1, 2), (2, 3), (3, 1), (3, 4)])
+        value = average_clustering(graph, rng)
+        assert 0.0 <= value <= 1.0
+
+    def test_path_length_on_chain(self, rng):
+        graph = FollowGraph.from_edges([(1, 2), (2, 3), (3, 4)])
+        # Undirected chain of 4: mean pairwise distance = 20/12.
+        assert average_path_length(graph, rng, sample_size=4) == pytest.approx(20 / 12)
+
+    def test_assortativity_negative_for_star(self):
+        """A star graph is maximally disassortative."""
+        edges = [(0, hub) for hub in [99]] + [(i, 99) for i in range(1, 30)]
+        graph = FollowGraph.from_edges(edges)
+        assert degree_assortativity(graph) <= 0.0
+
+    def test_assortativity_zero_on_tiny_graph(self):
+        graph = FollowGraph.from_edges([(1, 2)])
+        assert degree_assortativity(graph) == 0.0
+
+    def test_compute_graph_metrics_row(self, rng, small_graph):
+        metrics = compute_graph_metrics(small_graph, rng, clustering_sample=100, path_sample=10)
+        row = metrics.as_row()
+        assert row["nodes"] == small_graph.node_count
+        assert row["edges"] == small_graph.edge_count
+        assert row["avg_degree"] == pytest.approx(
+            2 * small_graph.edge_count / small_graph.node_count, abs=0.01
+        )
+
+    def test_reference_rows_match_paper(self):
+        periscope = TABLE2_REFERENCE["Periscope"]
+        assert periscope["avg_degree"] == 38.6
+        assert periscope["assortativity"] == -0.057
+        assert TABLE2_REFERENCE["Facebook"]["assortativity"] > 0
+        assert TABLE2_REFERENCE["Twitter"]["assortativity"] < 0
+
+
+class TestNotifications:
+    def test_notifies_all_followers(self, small_graph):
+        service = NotificationService(graph=small_graph)
+        broadcaster = next(iter(small_graph.nodes()))
+        notified = service.notify_followers(broadcaster)
+        assert notified == small_graph.followers_of(broadcaster)
+
+    def test_joining_followers_subset(self, small_graph, rng):
+        service = NotificationService(graph=small_graph, open_rate=0.5)
+        broadcaster = max(small_graph.nodes(), key=small_graph.follower_count)
+        joiners = service.joining_followers(broadcaster, rng)
+        assert set(joiners) <= small_graph.followers_of(broadcaster)
+
+    def test_zero_open_rate_joins_nobody(self, small_graph, rng):
+        service = NotificationService(graph=small_graph, open_rate=0.0)
+        broadcaster = max(small_graph.nodes(), key=small_graph.follower_count)
+        assert service.joining_followers(broadcaster, rng) == []
+
+    def test_full_open_rate_joins_everyone(self, small_graph, rng):
+        service = NotificationService(graph=small_graph, open_rate=1.0)
+        broadcaster = max(small_graph.nodes(), key=small_graph.follower_count)
+        joiners = service.joining_followers(broadcaster, rng)
+        assert set(joiners) == small_graph.followers_of(broadcaster)
+
+    def test_binomial_shortcut_for_large_fanouts(self, rng):
+        graph = FollowGraph()
+        for i in range(1, 500):
+            graph.add_follow(i, 0)
+        service = NotificationService(graph=graph, open_rate=0.1, max_sampled_followers=100)
+        joiners = service.joining_followers(0, rng)
+        assert 10 <= len(joiners) <= 120  # ~50 expected
+        assert len(set(joiners)) == len(joiners)
+
+    def test_invalid_open_rate_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            NotificationService(graph=small_graph, open_rate=1.5)
+
+    def test_expected_joiners(self, small_graph):
+        service = NotificationService(graph=small_graph, open_rate=0.1)
+        broadcaster = next(iter(small_graph.nodes()))
+        expected = service.expected_notified_joiners(broadcaster)
+        assert expected == pytest.approx(
+            small_graph.follower_count(broadcaster) * 0.1
+        )
+
+
+class TestDegreeDistribution:
+    def test_ccdf_monotone_decreasing(self, rng):
+        from repro.social.metrics import degree_ccdf
+
+        graph = generate_follow_graph(FollowGraphConfig(n_nodes=1000), rng)
+        degrees, ccdf = degree_ccdf(graph, kind="in")
+        assert list(degrees) == sorted(degrees)
+        assert all(b <= a for a, b in zip(ccdf, ccdf[1:]))
+        assert ccdf[0] <= 1.0
+        assert ccdf[-1] > 0.0
+
+    def test_ccdf_kinds(self, rng, small_graph):
+        from repro.social.metrics import degree_ccdf
+
+        for kind in ("in", "out", "total"):
+            degrees, ccdf = degree_ccdf(small_graph, kind=kind)
+            assert len(degrees) == len(ccdf)
+        with pytest.raises(ValueError):
+            degree_ccdf(small_graph, kind="sideways")
+
+    def test_powerlaw_alpha_in_plausible_range(self, rng):
+        from repro.social.metrics import estimate_powerlaw_alpha
+
+        graph = generate_follow_graph(FollowGraphConfig(n_nodes=3000), rng)
+        alpha = estimate_powerlaw_alpha(graph, kind="in", x_min=5)
+        assert 1.3 < alpha < 4.0  # heavy-tailed, social-graph-like
+
+    def test_powerlaw_validation(self, rng, small_graph):
+        from repro.social.metrics import estimate_powerlaw_alpha
+
+        with pytest.raises(ValueError):
+            estimate_powerlaw_alpha(small_graph, x_min=1)

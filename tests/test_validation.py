@@ -1,0 +1,74 @@
+"""Tests for the reproduction scorecard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import ExperimentResult
+from repro.validation import CLAIMS, Claim, render_scorecard, validate
+
+
+def _fake_result(data: dict) -> ExperimentResult:
+    return ExperimentResult(experiment_id="x", title="t", data=data, text="")
+
+
+class TestClaim:
+    def test_evaluate_pass(self):
+        claim = Claim(
+            "c", "x", "value near one", "1.0",
+            extract=lambda r: r.data["v"],
+            check=lambda v: 0.9 <= v <= 1.1,
+        )
+        outcome = claim.evaluate(_fake_result({"v": 1.05}))
+        assert outcome.passed
+        assert outcome.measured == 1.05
+
+    def test_evaluate_fail(self):
+        claim = Claim(
+            "c", "x", "value near one", "1.0",
+            extract=lambda r: r.data["v"],
+            check=lambda v: 0.9 <= v <= 1.1,
+        )
+        assert not claim.evaluate(_fake_result({"v": 5.0})).passed
+
+
+class TestClaimsRegistry:
+    def test_claims_cover_headline_figures(self):
+        covered = {claim.experiment_id for claim in CLAIMS}
+        assert {"fig1", "fig11", "fig12", "fig14", "fig15", "fig17", "fig18"} <= covered
+
+    def test_claim_ids_unique(self):
+        ids = [claim.claim_id for claim in CLAIMS]
+        assert len(ids) == len(set(ids))
+
+    def test_every_claim_has_paper_value(self):
+        assert all(claim.paper_value for claim in CLAIMS)
+
+
+class TestScorecard:
+    @pytest.fixture(scope="class")
+    def quick_outcomes(self):
+        """Run a cheap subset end to end (full run is the CLI's job)."""
+        subset = tuple(
+            claim for claim in CLAIMS if claim.experiment_id in ("fig14", "fig18")
+        )
+        return validate(subset)
+
+    def test_quick_subset_passes(self, quick_outcomes):
+        assert all(outcome.passed for outcome in quick_outcomes)
+
+    def test_render_scorecard(self, quick_outcomes):
+        text = render_scorecard(quick_outcomes)
+        assert "PASS" in text
+        assert f"{len(quick_outcomes)}/{len(quick_outcomes)} claims hold" in text
+
+    def test_render_marks_failures(self):
+        claim = Claim(
+            "c", "fig14", "impossible claim", "-",
+            extract=lambda r: 0.0,
+            check=lambda v: False,
+        )
+        outcomes = validate((claim,))
+        text = render_scorecard(outcomes)
+        assert "FAIL" in text
+        assert "0/1 claims hold" in text

@@ -1,0 +1,246 @@
+"""Tests for the workload generators (growth, arrivals, parameters, trace)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.arrivals import SECONDS_PER_DAY, daily_arrival_times
+from repro.workload.broadcast_model import BroadcastParamsModel
+from repro.workload.growth import (
+    GrowthModel,
+    MEERKAT_GROWTH,
+    PERISCOPE_GROWTH,
+    weekday_of_day,
+)
+from repro.workload.trace import TraceConfig, TraceGenerator
+from repro.workload.viewers import ViewerArrivalModel
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestGrowthModel:
+    def test_periscope_grows_over_3x(self):
+        start = np.mean([PERISCOPE_GROWTH.broadcasts_on(d) for d in range(7)])
+        end = np.mean([PERISCOPE_GROWTH.broadcasts_on(d) for d in range(91, 98)])
+        assert end / start > 3.0
+
+    def test_meerkat_roughly_halves(self):
+        start = np.mean([MEERKAT_GROWTH.broadcasts_on(d) for d in range(7)])
+        end = np.mean([MEERKAT_GROWTH.broadcasts_on(d) for d in range(28, 35)])
+        assert 0.35 < end / start < 0.75
+
+    def test_periscope_total_near_19_6m(self):
+        assert PERISCOPE_GROWTH.total_broadcasts() == pytest.approx(19.6e6, rel=0.08)
+
+    def test_meerkat_total_near_164k(self):
+        assert MEERKAT_GROWTH.total_broadcasts() == pytest.approx(164e3, rel=0.12)
+
+    def test_android_launch_jump(self):
+        before = PERISCOPE_GROWTH.broadcasts_on(10) / PERISCOPE_GROWTH.weekly_pattern[
+            weekday_of_day(10, 4)
+        ]
+        after = PERISCOPE_GROWTH.broadcasts_on(11) / PERISCOPE_GROWTH.weekly_pattern[
+            weekday_of_day(11, 4)
+        ]
+        assert after / before > 1.2
+
+    def test_weekend_peaks(self):
+        # Day 1 of the Periscope window is Saturday (first_weekday=Friday).
+        saturday = PERISCOPE_GROWTH.broadcasts_on(1)
+        monday = PERISCOPE_GROWTH.broadcasts_on(3)
+        assert saturday > monday
+
+    def test_viewer_broadcaster_ratio(self):
+        for day in (0, 50, 97):
+            ratio = PERISCOPE_GROWTH.viewers_on(day) / PERISCOPE_GROWTH.broadcasters_on(day)
+            assert ratio == pytest.approx(10.0)
+
+    def test_out_of_window_rejected(self):
+        with pytest.raises(ValueError):
+            PERISCOPE_GROWTH.broadcasts_on(98)
+        with pytest.raises(ValueError):
+            PERISCOPE_GROWTH.broadcasts_on(-1)
+
+    def test_weekday_of_day(self):
+        assert weekday_of_day(0, 4) == 4  # Friday
+        assert weekday_of_day(3, 4) == 0  # Monday
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GrowthModel("x", days=0, broadcasts_start=1, broadcasts_end=1,
+                        viewers_start=1, viewers_end=1)
+        with pytest.raises(ValueError):
+            GrowthModel("x", days=10, broadcasts_start=0, broadcasts_end=1,
+                        viewers_start=1, viewers_end=1)
+
+
+class TestDailyArrivals:
+    def test_count_near_expectation(self, rng):
+        times = daily_arrival_times(rng, expected_count=5000)
+        assert len(times) == pytest.approx(5000, rel=0.1)
+
+    def test_times_sorted_within_day(self, rng):
+        times = daily_arrival_times(rng, expected_count=500)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0
+        assert times.max() < SECONDS_PER_DAY
+
+    def test_zero_expectation(self, rng):
+        assert len(daily_arrival_times(rng, expected_count=0)) == 0
+
+    def test_diurnal_shape(self, rng):
+        times = daily_arrival_times(rng, expected_count=50_000)
+        hours = (times // 3600).astype(int)
+        night = np.isin(hours, [2, 3, 4]).mean()
+        evening = np.isin(hours, [18, 19, 20]).mean()
+        assert evening > 2 * night
+
+    def test_negative_expectation_rejected(self, rng):
+        with pytest.raises(ValueError):
+            daily_arrival_times(rng, expected_count=-1)
+
+
+class TestBroadcastParamsModel:
+    def test_durations_85pct_under_10min(self, rng):
+        model = BroadcastParamsModel.for_periscope()
+        durations = [model.sample_duration(rng) for _ in range(5000)]
+        fraction = np.mean(np.array(durations) < 600.0)
+        assert fraction == pytest.approx(0.85, abs=0.04)
+
+    def test_meerkat_zero_viewers(self, rng):
+        model = BroadcastParamsModel.for_meerkat()
+        zero = np.mean([model.sample_audience(rng) == 0 for _ in range(5000)])
+        assert zero == pytest.approx(0.60, abs=0.04)
+
+    def test_periscope_audience_mean(self, rng):
+        model = BroadcastParamsModel.for_periscope()
+        sizes = [model.sample_audience(rng) for _ in range(20_000)]
+        # Target ~30 organic (follower joins add the rest toward 36).
+        assert 20 < np.mean(sizes) < 55
+
+    def test_audience_capped(self, rng):
+        model = BroadcastParamsModel.for_periscope(audience_cap=500)
+        assert max(model.sample_audience(rng) for _ in range(2000)) <= 500
+
+    def test_comment_cap_enforced_in_samples(self, rng):
+        model = BroadcastParamsModel.for_periscope()
+        for _ in range(500):
+            params = model.sample(rng)
+            assert params.commenter_count <= model.comment_cap
+            if params.commenter_count == 0:
+                assert params.comment_count == 0
+            else:
+                assert params.comment_count >= params.commenter_count
+
+    def test_web_views_subset_of_audience(self, rng):
+        model = BroadcastParamsModel.for_periscope()
+        for _ in range(200):
+            params = model.sample(rng)
+            assert 0 <= params.web_views <= params.audience_size
+
+    def test_duration_quantile_analytic(self):
+        model = BroadcastParamsModel.for_periscope()
+        assert model.expected_duration_quantile(model.duration_median_s) == pytest.approx(0.5)
+        assert model.expected_duration_quantile(600.0) == pytest.approx(0.85, abs=0.02)
+        assert model.expected_duration_quantile(0.0) == 0.0
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_sampled_params_always_consistent(self, seed):
+        rng = np.random.default_rng(seed)
+        model = BroadcastParamsModel.for_periscope()
+        params = model.sample(rng)
+        assert params.duration_s >= model.min_duration_s
+        assert params.audience_size >= 0
+        assert params.heart_count >= 0
+        assert params.comment_count >= params.commenter_count >= 0
+
+
+class TestViewerArrivals:
+    def test_offsets_sorted_and_bounded(self, rng):
+        model = ViewerArrivalModel()
+        offsets = model.sample_join_offsets(rng, audience_size=500, duration_s=300.0)
+        assert len(offsets) == 500
+        assert np.all(np.diff(offsets) >= 0)
+        assert offsets.min() >= 0
+        assert offsets.max() <= 300.0
+
+    def test_front_loaded(self, rng):
+        model = ViewerArrivalModel(burst_fraction=0.5, burst_scale_s=30.0)
+        offsets = model.sample_join_offsets(rng, 2000, duration_s=600.0)
+        first_minute = np.mean(offsets < 60.0)
+        assert first_minute > 0.3  # notification burst lands early
+
+    def test_zero_audience(self, rng):
+        model = ViewerArrivalModel()
+        assert len(model.sample_join_offsets(rng, 0, 100.0)) == 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            ViewerArrivalModel(burst_fraction=1.5)
+        model = ViewerArrivalModel()
+        with pytest.raises(ValueError):
+            model.sample_join_offsets(rng, 10, duration_s=0.0)
+        with pytest.raises(ValueError):
+            model.sample_join_offsets(rng, -1, duration_s=10.0)
+
+    def test_uniform_trickle_when_no_decay(self, rng):
+        model = ViewerArrivalModel(burst_fraction=0.0, trickle_decay=0.0)
+        offsets = model.sample_join_offsets(rng, 5000, duration_s=100.0)
+        assert np.mean(offsets) == pytest.approx(50.0, rel=0.1)
+
+
+class TestTraceGenerator:
+    @pytest.fixture(scope="class")
+    def tiny_trace(self):
+        return TraceGenerator(TraceConfig.periscope(scale=0.0001, seed=3)).generate()
+
+    def test_dataset_days_match_growth(self, tiny_trace):
+        assert tiny_trace.dataset.days == 98
+
+    def test_broadcast_count_scales(self, tiny_trace):
+        assert tiny_trace.dataset.broadcast_count == pytest.approx(1960, rel=0.15)
+
+    def test_broadcasters_from_pool(self, tiny_trace):
+        pool = set(tiny_trace.broadcaster_ids.tolist())
+        assert all(r.broadcaster_id in pool for r in tiny_trace.dataset)
+
+    def test_viewers_from_pool(self, tiny_trace):
+        pool = set(tiny_trace.viewer_ids.tolist())
+        for record in tiny_trace.dataset.records[:100]:
+            assert set(record.viewer_ids.tolist()) <= pool
+
+    def test_graph_present_for_periscope(self, tiny_trace):
+        assert tiny_trace.graph is not None
+        assert tiny_trace.graph.node_count == tiny_trace.config.total_users
+
+    def test_meerkat_has_no_graph(self):
+        trace = TraceGenerator(TraceConfig.meerkat(scale=0.001, seed=3)).generate()
+        assert trace.graph is None
+
+    def test_deterministic(self):
+        a = TraceGenerator(TraceConfig.periscope(scale=0.00005, seed=5)).generate()
+        b = TraceGenerator(TraceConfig.periscope(scale=0.00005, seed=5)).generate()
+        assert a.dataset.broadcast_count == b.dataset.broadcast_count
+        assert a.dataset.total_views == b.dataset.total_views
+
+    def test_follower_counts_recorded(self, tiny_trace):
+        recorded = [r.broadcaster_followers for r in tiny_trace.dataset.records[:50]]
+        graph = tiny_trace.graph
+        expected = [
+            graph.follower_count(r.broadcaster_id)
+            for r in tiny_trace.dataset.records[:50]
+        ]
+        assert recorded == expected
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            TraceConfig(scale=0.0)
+        with pytest.raises(ValueError):
+            TraceConfig(scale=1.5)

@@ -1,0 +1,54 @@
+"""Tests for the analytic calibration report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.broadcast_model import BroadcastParamsModel
+from repro.workload.calibration import (
+    CalibrationRow,
+    meerkat_calibration,
+    periscope_calibration,
+    render_calibration,
+)
+
+
+class TestCalibrationRows:
+    def test_within_tolerance(self):
+        assert CalibrationRow("x", 100.0, 105.0, 0.10).within_tolerance
+        assert not CalibrationRow("x", 100.0, 150.0, 0.10).within_tolerance
+
+    def test_zero_paper_value(self):
+        assert CalibrationRow("x", 0.0, 0.0, 0.1).within_tolerance
+        assert not CalibrationRow("x", 0.0, 1.0, 0.1).within_tolerance
+
+
+class TestDefaultCalibration:
+    def test_periscope_all_within_tolerance(self):
+        rows = periscope_calibration()
+        off = [row.quantity for row in rows if not row.within_tolerance]
+        assert not off, f"calibration drifted: {off}"
+
+    def test_meerkat_all_within_tolerance(self):
+        rows = meerkat_calibration()
+        off = [row.quantity for row in rows if not row.within_tolerance]
+        assert not off, f"calibration drifted: {off}"
+
+    def test_detects_drift(self):
+        """A deliberately broken model fails the report."""
+        broken = BroadcastParamsModel.for_periscope()
+        broken.duration_median_s = 1000.0  # way off 85%-under-10min
+        rows = periscope_calibration(params=broken)
+        duration_row = next(r for r in rows if "10 min" in r.quantity)
+        assert not duration_row.within_tolerance
+
+    def test_render_marks(self):
+        text = render_calibration(periscope_calibration(), "title")
+        assert text.splitlines()[0] == "title"
+        assert "[ok ]" in text
+        broken = BroadcastParamsModel.for_periscope()
+        broken.zero_viewer_prob = 0.9
+        bad_text = render_calibration(
+            [CalibrationRow("x", 1.0, 9.0, 0.1)]
+        )
+        assert "OFF" in bad_text

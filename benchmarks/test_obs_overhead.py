@@ -1,0 +1,151 @@
+"""Overhead budget for the observability layer.
+
+The contract that makes ``repro.obs`` safe-by-default: a Simulator built
+without a registry (the ``NULL_REGISTRY`` default) must run the event-engine
+micro-benchmark within ~10% of a bare, uninstrumented event loop — the seed
+engine replicated below verbatim, minus cancellation bookkeeping and obs
+hooks.  A second (non-budget) measurement reports what a live registry
+costs, so future PRs can see the price of always-on metrics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+from repro.simulation.engine import Simulator
+
+N_EVENTS = 30_000
+ROUNDS = 9
+#: Budget for the default (NullRegistry) path vs the bare loop.
+MAX_OVERHEAD = 1.10
+
+
+@dataclass(order=True)
+class _BareEvent:
+    """The seed engine's Event, field-for-field."""
+
+    time: float
+    sequence: int
+    action: object = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+
+class _BareSimulator:
+    """A faithful replica of the *seed* engine's scheduling/run loop — the
+    uninstrumented baseline the overhead budget is measured against."""
+
+    def __init__(self) -> None:
+        self._heap: list[_BareEvent] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self._events_processed = 0
+        self._running = False
+
+    def schedule(self, delay: float, action) -> None:
+        heapq.heappush(
+            self._heap, _BareEvent(self.now + delay, next(self._counter), action)
+        )
+
+    def _peek_time(self):
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def _pop(self):
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def run(self, until=None, max_events=None) -> None:
+        self._running = True
+        processed_this_run = 0
+        try:
+            while True:
+                if max_events is not None and processed_this_run >= max_events:
+                    break
+                next_time = self._peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._pop()
+                if event is None:
+                    break
+                self.now = event.time
+                event.action()
+                self._events_processed += 1
+                processed_this_run += 1
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+
+
+def _workload(simulator) -> int:
+    count = 0
+
+    def tick():
+        nonlocal count
+        count += 1
+
+    for i in range(N_EVENTS):
+        simulator.schedule(i * 0.001, tick)
+    simulator.run()
+    return count
+
+
+def _best_of(make_simulator) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        simulator = make_simulator()
+        started = time.perf_counter()
+        assert _workload(simulator) == N_EVENTS
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_null_registry_overhead_within_budget():
+    """The default path costs at most ~10% over a bare event loop."""
+    # Warm both paths once so allocator/JIT-ish effects land outside timing.
+    _workload(_BareSimulator())
+    _workload(Simulator())
+
+    bare = _best_of(_BareSimulator)
+    instrumented = _best_of(Simulator)
+    ratio = instrumented / bare
+    print(f"\nnull-registry overhead: bare={bare * 1e3:.1f}ms "
+          f"default={instrumented * 1e3:.1f}ms ratio={ratio:.3f}")
+    assert ratio <= MAX_OVERHEAD, (
+        f"NullRegistry path is {ratio:.2f}x the bare loop (budget {MAX_OVERHEAD}x)"
+    )
+
+
+def test_live_registry_cost_is_bounded(benchmark):
+    """Informational: a live registry observes every event (span counts +
+    inter-event gap histograms), so it costs real time — but must stay
+    within a small constant factor, not blow up."""
+
+    def run():
+        registry = MetricsRegistry()
+        simulator = Simulator(metrics=registry)
+        result = _workload(simulator)
+        return result, registry
+
+    result, registry = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result == N_EVENTS
+    snap = registry.snapshot()
+    assert snap["counters"]["engine.events_processed"]["value"] == N_EVENTS
+    gap = snap["histograms"]["engine.span.unlabelled.gap_s"]
+    assert gap["count"] == N_EVENTS - 1
+
+    bare = _best_of(_BareSimulator)
+    live = _best_of(lambda: Simulator(metrics=MetricsRegistry()))
+    print(f"live-registry overhead: {live / bare:.2f}x over bare")
+    assert live / bare < 10.0

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Repo health check: byte-compile everything, then run the tier-1 suite.
+# Usage: scripts/check.sh [extra pytest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+python -m compileall -q src
+PYTHONPATH=src python -m pytest -x -q "$@"

@@ -1,8 +1,16 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from repro.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pipe (e.g. ``| head``) closed early; exit quietly the
+        # way coreutils do instead of dumping a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        sys.exit(141)

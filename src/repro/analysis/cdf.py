@@ -47,13 +47,24 @@ class Cdf:
         return 1.0 - self.at(x)
 
     def points(self, max_points: int = 200) -> list[tuple[float, float]]:
-        """(x, F(x)) pairs, thinned for plotting/reporting."""
+        """(x, F(x)) pairs, thinned for plotting/reporting.
+
+        Each x appears once, paired with the full F(x) = P(X <= x) — tied
+        samples used to emit one pair per duplicate with climbing F values,
+        which is not a function and broke exported step plots.
+        """
         n = len(self.values)
         if n <= max_points:
             indices = np.arange(n)
         else:
             indices = np.linspace(0, n - 1, max_points).astype(int)
-        return [(float(self.values[i]), (int(i) + 1) / n) for i in indices]
+        pairs: list[tuple[float, float]] = []
+        for i in indices:
+            x = float(self.values[i])
+            if pairs and pairs[-1][0] == x:
+                continue
+            pairs.append((x, self.at(x)))
+        return pairs
 
     def summary(self) -> dict[str, float]:
         return {

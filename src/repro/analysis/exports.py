@@ -8,14 +8,35 @@ their own tooling (matplotlib, gnuplot, a spreadsheet).
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 from typing import Mapping, Sequence, Union
 
 import numpy as np
 
 from repro.analysis.cdf import Cdf
+from repro.obs.metrics import MetricsRegistry
 
 PathLike = Union[str, Path]
+
+
+def export_metrics_json(
+    metrics: Union[MetricsRegistry, Mapping],
+    path: PathLike,
+    indent: int = 2,
+) -> int:
+    """Write a metrics snapshot as JSON; accepts a registry or a snapshot.
+
+    Returns the number of metrics written (counters + gauges + histograms).
+    """
+    snapshot = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else dict(metrics)
+    with open(Path(path), "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=indent, sort_keys=True)
+        handle.write("\n")
+    return sum(
+        len(snapshot.get(section, {}))
+        for section in ("counters", "gauges", "histograms")
+    )
 
 
 def export_cdf_csv(

@@ -21,6 +21,7 @@ import numpy as np
 from repro.cdn.transfer import TransferModel
 from repro.cdn.wowza import WowzaIngest
 from repro.geo.datacenters import Datacenter
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.protocols.hls import Chunklist
 from repro.simulation.engine import Simulator
 
@@ -53,12 +54,18 @@ class FastlyEdge:
         simulator: Simulator,
         transfer_model: TransferModel,
         rng: np.random.Generator,
+        metrics: MetricsRegistry = NULL_REGISTRY,
     ) -> None:
         self.datacenter = datacenter
         self.simulator = simulator
         self.transfer_model = transfer_model
         self.rng = rng
         self._broadcasts: dict[int, _EdgeBroadcastState] = {}
+        self._m_polls = metrics.counter("cdn.fastly.polls", help="chunklist polls served")
+        self._m_hits = metrics.counter("cdn.fastly.cache_hits", help="polls answered from a fresh cache")
+        self._m_misses = metrics.counter("cdn.fastly.cache_misses", help="polls that found the cache stale")
+        self._m_pulls = metrics.counter("cdn.fastly.origin_pulls", help="cache fills from the origin")
+        self._m_pull_delay = metrics.histogram("cdn.fastly.pull_delay_s", help="origin pull transfer time")
 
     # -- wiring ----------------------------------------------------------
 
@@ -86,10 +93,13 @@ class FastlyEdge:
         """
         state = self._state(broadcast_id)
         state.poll_count += 1
+        self._m_polls.inc()
         now = self.simulator.now
         if not state.is_stale:
+            self._m_hits.inc()
             callback(state.local_list.copy(), now)
             return
+        self._m_misses.inc()
         state.waiting_polls.append(callback)
         if not state.fetch_in_flight:
             self._start_origin_pull(broadcast_id, state)
@@ -97,9 +107,11 @@ class FastlyEdge:
     def _start_origin_pull(self, broadcast_id: int, state: _EdgeBroadcastState) -> None:
         state.fetch_in_flight = True
         state.origin_pulls += 1
+        self._m_pulls.inc()
         delay = self.transfer_model.transfer_delay_s(
             state.origin.datacenter, self.datacenter, self.rng
         )
+        self._m_pull_delay.observe(delay)
         self.simulator.schedule(
             delay,
             lambda: self._finish_origin_pull(broadcast_id),

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.simulation.engine import Simulator
 
 
@@ -31,9 +32,17 @@ class ServerQueue:
     poll_service_s: float = 0.002
     #: Service time per chunk assembly.
     chunk_service_s: float = 0.02
+    metrics: MetricsRegistry = field(default=NULL_REGISTRY, repr=False)
     _backlog_free_at: float = field(default=0.0, init=False)
     requests_served: int = field(default=0, init=False)
     busy_time_s: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        obs = self.metrics
+        self._m_polls = obs.counter("cdn.queue.polls", help="poll requests served")
+        self._m_chunks = obs.counter("cdn.queue.chunk_builds", help="chunk assemblies served")
+        self._m_wait = obs.histogram("cdn.queue.wait_s", help="queueing delay before service")
+        self._m_backlog = obs.gauge("cdn.queue.backlog_s", help="work queued ahead of a new arrival")
 
     def _serve(self, service_s: float) -> float:
         now = self.simulator.now
@@ -42,14 +51,18 @@ class ServerQueue:
         self._backlog_free_at = completion
         self.requests_served += 1
         self.busy_time_s += service_s
+        self._m_wait.observe(start - now)
+        self._m_backlog.set(completion - now)
         return completion
 
     def serve_poll(self) -> float:
         """Admit one poll; returns its completion time."""
+        self._m_polls.inc()
         return self._serve(self.poll_service_s)
 
     def serve_chunk_build(self) -> float:
         """Admit one chunk assembly; returns its completion time."""
+        self._m_chunks.inc()
         return self._serve(self.chunk_service_s)
 
     def queueing_delay_now(self) -> float:
@@ -81,6 +94,7 @@ def simulate_pop_load(
     duration_s: float = 60.0,
     seed: int = 77,
     queue: ServerQueue | None = None,
+    metrics: MetricsRegistry = NULL_REGISTRY,
 ) -> LoadPointMeasurement:
     """Drive one POP with the poll/chunk workload of many live streams.
 
@@ -90,8 +104,8 @@ def simulate_pop_load(
     """
     if concurrent_streams <= 0:
         raise ValueError("need at least one stream")
-    simulator = Simulator()
-    server = queue or ServerQueue(simulator)
+    simulator = Simulator(metrics=metrics)
+    server = queue or ServerQueue(simulator, metrics=metrics)
     rng = np.random.default_rng(seed)
     poll_delays: list[float] = []
 
@@ -119,6 +133,9 @@ def simulate_pop_load(
         + server.chunk_service_s / chunk_duration_s
     )
     offered = concurrent_streams * per_stream_load
+    metrics.gauge("cdn.queue.utilization", help="busy fraction over the run").set(
+        server.utilization(duration_s)
+    )
     delays = np.asarray(poll_delays)
     return LoadPointMeasurement(
         concurrent_streams=concurrent_streams,

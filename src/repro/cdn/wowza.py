@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol
 
 from repro.geo.datacenters import Datacenter
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.protocols.frames import Chunk, VideoFrame
 from repro.protocols.hls import Chunklist
 from repro.simulation.engine import Simulator
@@ -74,6 +75,7 @@ class WowzaIngest:
         datacenter: Datacenter,
         simulator: Simulator,
         frames_per_chunk: int = 75,
+        metrics: MetricsRegistry = NULL_REGISTRY,
     ) -> None:
         if frames_per_chunk <= 0:
             raise ValueError("frames_per_chunk must be positive")
@@ -82,6 +84,12 @@ class WowzaIngest:
         self.frames_per_chunk = frames_per_chunk
         self._broadcasts: dict[int, _BroadcastIngest] = {}
         self._expiry_listeners: dict[int, list[ExpiryListener]] = {}
+        self._m_frames = metrics.counter("cdn.wowza.frames_received", help="RTMP frames ingested")
+        self._m_chunks = metrics.counter("cdn.wowza.chunks_completed", help="HLS chunks assembled")
+        self._m_starts = metrics.counter("cdn.wowza.broadcasts_started")
+        self._m_ends = metrics.counter("cdn.wowza.broadcasts_ended")
+        self._m_live = metrics.gauge("cdn.wowza.live_broadcasts", help="broadcasts ingesting now")
+        self._m_pushes = metrics.counter("cdn.wowza.rtmp_frames_pushed", help="frames fanned out to RTMP subscribers")
 
     # -- broadcast lifecycle -------------------------------------------
 
@@ -93,12 +101,17 @@ class WowzaIngest:
         self._broadcasts[broadcast_id] = _BroadcastIngest(
             broadcast_id, token, frames_per_chunk or self.frames_per_chunk
         )
+        self._m_starts.inc()
+        self._m_live.inc()
 
     def end_broadcast(self, broadcast_id: int) -> IngestRecord:
         """Flush the trailing partial chunk and close the broadcast."""
         state = self._state(broadcast_id)
         if state.pending_frames:
             self._complete_chunk(state)
+        if state.live:
+            self._m_ends.inc()
+            self._m_live.dec()
         state.live = False
         return state.record
 
@@ -119,10 +132,13 @@ class WowzaIngest:
         now = self.simulator.now
         state.record.frame_arrivals[frame.sequence] = now
         state.record.frame_captures[frame.sequence] = frame.capture_time
+        self._m_frames.inc()
 
         # RTMP tier: push immediately to every subscriber.
-        for subscriber in list(state.rtmp_subscribers):
-            subscriber.push_frame(broadcast_id, frame, now)
+        if state.rtmp_subscribers:
+            self._m_pushes.inc(len(state.rtmp_subscribers))
+            for subscriber in list(state.rtmp_subscribers):
+                subscriber.push_frame(broadcast_id, frame, now)
 
         # HLS tier: chunk assembly.
         state.pending_frames.append(frame)
@@ -138,6 +154,7 @@ class WowzaIngest:
         )
         state.pending_frames = []
         state.next_chunk_index += 1
+        self._m_chunks.inc()
         state.record.chunk_ready[chunk.index] = now
         state.record.chunks[chunk.index] = chunk
         state.chunklist.append(chunk.index, chunk.duration_s, now)

@@ -35,7 +35,11 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments",
         nargs="*",
         metavar="EXPERIMENT",
-        help="experiment IDs to run (e.g. table1 fig11); see --list",
+        help=(
+            "experiment IDs to run (e.g. table1 fig11); see --list. "
+            "The special target 'metrics' runs a small instrumented "
+            "scenario and prints the observability registry as JSON."
+        ),
     )
     parser.add_argument("--list", action="store_true", help="list experiment IDs and exit")
     parser.add_argument("--all", action="store_true", help="run every experiment in paper order")
@@ -108,6 +112,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sink.close()
         return 0 if all(o.passed for o in outcomes) else 1
 
+    if "metrics" in args.experiments:
+        if len(args.experiments) > 1 or args.all:
+            print(
+                "error: 'metrics' emits a JSON snapshot and cannot be combined "
+                "with other experiments",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.obs.scenario import run_metrics_scenario
+
+        registry = run_metrics_scenario(seed=args.seed if args.seed is not None else 7)
+        emit(registry.as_json())
+        if sink is not None:
+            sink.close()
+        return 0
+
     targets = list_experiments() if args.all else list(args.experiments)
     if not targets:
         parser.print_usage()
@@ -118,7 +138,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     unknown = [t for t in targets if t not in known]
     if unknown:
         print(f"error: unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"known: {', '.join(list_experiments())}", file=sys.stderr)
+        print(f"known: {', '.join(list_experiments())} (plus the special target 'metrics')", file=sys.stderr)
         return 2
 
     for index, experiment_id in enumerate(targets):

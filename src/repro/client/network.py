@@ -35,7 +35,8 @@ class OutageSchedule:
         for start, end in self.windows:
             if end < start:
                 raise ValueError(f"invalid outage window ({start}, {end})")
-        self.windows.sort()
+        # Copy before sorting: never mutate the caller's list.
+        self.windows = sorted(self.windows)
         self._merge()
 
     def _merge(self) -> None:
@@ -46,6 +47,9 @@ class OutageSchedule:
             else:
                 merged.append((start, end))
         self.windows = merged
+        # Precomputed once: release_time used to rebuild this list on every
+        # call, making each lookup O(n) instead of O(log n).
+        self._starts = [start for start, _ in merged]
 
     @classmethod
     def sample(
@@ -68,8 +72,14 @@ class OutageSchedule:
         return cls([(float(s), float(s + d)) for s, d in zip(starts, durations)])
 
     def release_time(self, time: float) -> float:
-        """Earliest instant at/after ``time`` outside any outage window."""
-        index = bisect.bisect_right([start for start, _ in self.windows], time) - 1
+        """Earliest instant at/after ``time`` outside any outage window.
+
+        Windows are merged and disjoint after construction, so the single
+        window with the latest ``start <= time`` fully decides the answer —
+        with raw overlapping windows (e.g. ``[(0, 100), (10, 20)]`` at
+        ``t=50``) that check alone would wrongly report the link as up.
+        """
+        index = bisect.bisect_right(self._starts, time) - 1
         if index >= 0:
             start, end = self.windows[index]
             if start <= time < end:

@@ -16,6 +16,7 @@ import numpy as np
 from repro.cdn.fastly import FastlyEdge
 from repro.cdn.wowza import WowzaIngest
 from repro.client.network import LastMileLink
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.protocols.frames import Chunk, VideoFrame
 from repro.protocols.hls import Chunklist
 from repro.simulation.engine import Simulator
@@ -33,8 +34,14 @@ class RtmpViewerClient:
     broadcast_id: int
     simulator: Simulator
     downlink: LastMileLink
+    metrics: MetricsRegistry = field(default=NULL_REGISTRY, repr=False)
     frame_arrivals: dict[int, float] = field(default_factory=dict)
     frame_captures: dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._m_frames = self.metrics.counter(
+            "client.rtmp.frames_received", help="frames delivered to RTMP viewers"
+        )
 
     def attach(self, wowza: WowzaIngest) -> None:
         wowza.subscribe_rtmp(self.broadcast_id, self)
@@ -53,6 +60,7 @@ class RtmpViewerClient:
     def _record(self, frame: VideoFrame, time: float) -> None:
         self.frame_arrivals[frame.sequence] = time
         self.frame_captures[frame.sequence] = frame.capture_time
+        self._m_frames.inc()
 
     def arrival_trace(self) -> np.ndarray:
         """Frame arrival times in sequence order."""
@@ -92,6 +100,7 @@ class HlsViewerClient:
     poll_interval_s: float = 2.4
     chunk_kb: float = 300.0
     stop_after: float = float("inf")
+    metrics: MetricsRegistry = field(default=NULL_REGISTRY, repr=False)
     chunk_arrivals: dict[int, float] = field(default_factory=dict)
     chunk_captures: dict[int, float] = field(default_factory=dict)  # ⑤ per chunk
     chunk_response_times: dict[int, float] = field(default_factory=dict)  # ⑭ per chunk
@@ -102,6 +111,12 @@ class HlsViewerClient:
     def __post_init__(self) -> None:
         if self.poll_interval_s <= 0:
             raise ValueError("poll interval must be positive")
+        obs = self.metrics
+        self._m_polls = obs.counter("client.hls.polls", help="chunklist polls sent")
+        self._m_empty = obs.counter(
+            "client.hls.empty_polls", help="polls that surfaced no new chunk (stall signal)"
+        )
+        self._m_chunks = obs.counter("client.hls.chunks_downloaded")
 
     def start_polling(self, first_poll_at: float) -> None:
         self.simulator.schedule_at(
@@ -115,6 +130,7 @@ class HlsViewerClient:
         if self._stopped or self.simulator.now > self.stop_after:
             return
         self.poll_times.append(self.simulator.now)
+        self._m_polls.inc()
         self.edge.poll(self.broadcast_id, self._on_chunklist)
         self.simulator.schedule(
             self.poll_interval_s, self._poll, label=f"hls-poll:{self.viewer_id}"
@@ -123,6 +139,7 @@ class HlsViewerClient:
     def _on_chunklist(self, chunklist: Chunklist, response_time: float) -> None:
         if self._stopped:
             return
+        fetched = 0
         for entry in chunklist.entries_after(self._last_downloaded):
             self._last_downloaded = entry.chunk_index
             self.chunk_response_times[entry.chunk_index] = response_time
@@ -133,6 +150,11 @@ class HlsViewerClient:
                 _RecordChunk(self, chunk),
                 label=f"hls-dl:{self.viewer_id}:{entry.chunk_index}",
             )
+            fetched += 1
+        if fetched:
+            self._m_chunks.inc(fetched)
+        else:
+            self._m_empty.inc()
 
     def _record(self, chunk: Chunk, time: float) -> None:
         self.chunk_arrivals[chunk.index] = time

@@ -17,6 +17,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.crawler.rate_limit import TokenBucket
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.platform.service import LivestreamService
 from repro.simulation.engine import Simulator
 
@@ -48,6 +49,7 @@ class GlobalListCrawler:
         account_refresh_s: float = 5.0,
         rate_limit: Optional[TokenBucket] = None,
         on_discover: Optional[DiscoveryCallback] = None,
+        metrics: MetricsRegistry = NULL_REGISTRY,
     ) -> None:
         if n_accounts <= 0:
             raise ValueError("need at least one account")
@@ -58,6 +60,10 @@ class GlobalListCrawler:
         self.rng = rng
         self.on_discover = on_discover
         self._shared_rate_limit = rate_limit
+        self._m_queries = metrics.counter("crawler.queries", help="global-list queries issued")
+        self._m_throttled = metrics.counter("crawler.throttled", help="queries dropped by the rate limit")
+        self._m_discovered = metrics.counter("crawler.discovered", help="broadcasts first seen")
+        self._m_coverage = metrics.gauge("crawler.coverage", help="discovered / total broadcasts")
         # Stagger accounts evenly: aggregate refresh = refresh / n.
         self.accounts = [
             CrawlerAccount(
@@ -98,14 +104,18 @@ class GlobalListCrawler:
         )
         if throttled:
             account.queries_throttled += 1
+            self._m_throttled.inc()
         else:
             account.queries_made += 1
+            self._m_queries.inc()
             page = self.service.global_list(now, self.rng)
             for broadcast_id in page.broadcast_ids:
                 if broadcast_id not in self.discovered:
                     self.discovered[broadcast_id] = now
+                    self._m_discovered.inc()
                     if self.on_discover is not None:
                         self.on_discover(broadcast_id, now)
+            self._m_coverage.set(self.coverage())
         self.simulator.schedule(
             account.refresh_s, _AccountQuery(self, account), label=f"crawl:{account.account_id}"
         )

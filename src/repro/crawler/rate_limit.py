@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+
 
 class RateLimitExceeded(Exception):
     """Raised when a request is attempted with an empty bucket."""
@@ -27,6 +29,7 @@ class TokenBucket:
 
     rate_per_s: float
     capacity: float
+    metrics: MetricsRegistry = field(default=NULL_REGISTRY, repr=False)
     _tokens: float = field(init=False)
     _last_refill: float = field(default=0.0, init=False)
 
@@ -36,6 +39,8 @@ class TokenBucket:
         if self.capacity <= 0:
             raise ValueError("capacity must be positive")
         self._tokens = self.capacity
+        self._m_granted = self.metrics.counter("crawler.ratelimit.granted", help="acquisitions that got tokens")
+        self._m_throttled = self.metrics.counter("crawler.ratelimit.throttled", help="acquisitions denied for lack of tokens")
 
     def _refill(self, now: float) -> None:
         if now < self._last_refill:
@@ -52,7 +57,9 @@ class TokenBucket:
         self._refill(now)
         if self._tokens >= tokens:
             self._tokens -= tokens
+            self._m_granted.inc()
             return True
+        self._m_throttled.inc()
         return False
 
     def acquire(self, now: float, tokens: float = 1.0) -> None:

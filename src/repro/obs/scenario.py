@@ -1,0 +1,115 @@
+"""A small, fully instrumented end-to-end scenario.
+
+Drives every instrumented subsystem — engine, CDN (Wowza ingest + Fastly
+edge + server queue), platform service, crawler, and viewer clients —
+through one registry, so ``repro metrics`` (and the obs tests) can show a
+live snapshot with counters from the whole stack.  Deliberately tiny:
+a few broadcasts, a handful of viewers, a ~2-minute horizon.
+"""
+
+from __future__ import annotations
+
+from repro.cdn.fastly import FastlyEdge
+from repro.cdn.queueing import ServerQueue
+from repro.cdn.transfer import TransferModel
+from repro.cdn.wowza import WowzaIngest
+from repro.client.broadcaster import BroadcasterClient
+from repro.client.network import LastMileLink
+from repro.client.viewer_client import HlsViewerClient, RtmpViewerClient
+from repro.crawler.global_list import GlobalListCrawler
+from repro.crawler.rate_limit import TokenBucket
+from repro.geo.datacenters import FASTLY_DATACENTERS, WOWZA_DATACENTERS
+from repro.obs.metrics import MetricsRegistry
+from repro.platform.service import LivestreamService
+from repro.simulation.engine import Simulator
+from repro.simulation.randomness import RandomStreams
+
+
+def run_metrics_scenario(
+    seed: int = 7,
+    n_broadcasts: int = 3,
+    viewers_per_broadcast: int = 4,
+    broadcast_duration_s: float = 30.0,
+    horizon_s: float = 150.0,
+) -> MetricsRegistry:
+    """Run the instrumented micro-scenario; returns the populated registry."""
+    if n_broadcasts <= 0:
+        raise ValueError("need at least one broadcast")
+    streams = RandomStreams(seed)
+    registry = MetricsRegistry()
+    simulator = Simulator(metrics=registry)
+
+    service = LivestreamService(metrics=registry)
+    service.users.register_many(50 + n_broadcasts * viewers_per_broadcast)
+
+    wowza = WowzaIngest(
+        WOWZA_DATACENTERS[0], simulator, frames_per_chunk=25, metrics=registry
+    )
+    pop = next(
+        (dc for dc in FASTLY_DATACENTERS if dc.city == wowza.datacenter.city),
+        FASTLY_DATACENTERS[0],
+    )
+    edge = FastlyEdge(
+        pop, simulator, TransferModel(), streams.get("edge"), metrics=registry
+    )
+    server_queue = ServerQueue(simulator, metrics=registry)
+
+    engagement_rng = streams.get("engagement")
+    for index in range(n_broadcasts):
+        start = index * 20.0
+        broadcaster_id = 1 + index
+
+        def launch(broadcaster_id=broadcaster_id, slot=index):
+            now = simulator.now
+            broadcast = service.start_broadcast(broadcaster_id, time=now)
+            bid = broadcast.broadcast_id
+            edge.attach_broadcast(bid, wowza)
+            uplink = LastMileLink.mobile_uplink(
+                streams.get(f"uplink/{slot}"), horizon_s=horizon_s
+            )
+            client = BroadcasterClient(
+                broadcast_id=bid, token=f"tok-{bid}", simulator=simulator,
+                wowza=wowza, uplink=uplink,
+            )
+            client.start(start_time=now, duration_s=broadcast_duration_s)
+            for viewer_offset in range(viewers_per_broadcast):
+                viewer_id = 40 + slot * viewers_per_broadcast + viewer_offset
+                service.join(bid, viewer_id, time=now)
+                service.heart(bid, viewer_id, time=now)
+                service.comment(bid, viewer_id, time=now)
+                server_queue.serve_poll()
+                if viewer_offset % 2 == 0:
+                    rtmp = RtmpViewerClient(
+                        viewer_id=viewer_id, broadcast_id=bid, simulator=simulator,
+                        downlink=LastMileLink.stable_wifi(streams.get(f"rtmp/{viewer_id}")),
+                        metrics=registry,
+                    )
+                    rtmp.attach(wowza)
+                else:
+                    hls = HlsViewerClient(
+                        viewer_id=viewer_id, broadcast_id=bid, simulator=simulator,
+                        edge=edge,
+                        downlink=LastMileLink.stable_wifi(streams.get(f"hls/{viewer_id}")),
+                        stop_after=now + broadcast_duration_s + 15.0,
+                        metrics=registry,
+                    )
+                    hls.start_polling(first_poll_at=now + float(
+                        engagement_rng.uniform(0.5, 2.0)
+                    ))
+            simulator.schedule(
+                broadcast_duration_s + 5.0,
+                lambda bid=bid: service.end_broadcast(bid, simulator.now),
+                label="platform-end",
+            )
+
+        simulator.schedule_at(start, launch, label="platform-launch")
+
+    crawler = GlobalListCrawler(
+        service, simulator, streams.get("crawler"),
+        n_accounts=4, account_refresh_s=5.0,
+        rate_limit=TokenBucket(rate_per_s=2.0, capacity=4.0, metrics=registry),
+        metrics=registry,
+    )
+    crawler.start()
+    simulator.run(until=horizon_s)
+    return registry

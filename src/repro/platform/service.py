@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.platform.apps import AppProfile, PERISCOPE_PROFILE
 from repro.platform.broadcasts import (
     Broadcast,
@@ -48,10 +49,23 @@ class LivestreamService:
     profile: AppProfile = field(default_factory=lambda: PERISCOPE_PROFILE)
     global_list_size: int = 50
     users: UserRegistry = field(default_factory=UserRegistry)
+    metrics: MetricsRegistry = field(default=NULL_REGISTRY, repr=False)
     _broadcasts: dict[int, Broadcast] = field(default_factory=dict)
     _live_ids: list[int] = field(default_factory=list)
     _live_positions: dict[int, int] = field(default_factory=dict)
     _next_broadcast_id: int = 1
+
+    def __post_init__(self) -> None:
+        obs = self.metrics
+        self._m_api = obs.counter("platform.api_calls", help="all service API calls")
+        self._m_starts = obs.counter("platform.broadcasts_started")
+        self._m_ends = obs.counter("platform.broadcasts_ended")
+        self._m_joins = obs.counter("platform.joins")
+        self._m_comments = obs.counter("platform.comments_accepted")
+        self._m_comments_rejected = obs.counter("platform.comments_rejected", help="comments over the commenter cap")
+        self._m_hearts = obs.counter("platform.hearts")
+        self._m_lists = obs.counter("platform.global_list_queries")
+        self._m_live = obs.gauge("platform.live_broadcasts", help="broadcasts currently live")
 
     # -- broadcast lifecycle -------------------------------------------
 
@@ -62,6 +76,7 @@ class LivestreamService:
         is_private: bool = False,
         location: Optional[object] = None,
     ) -> Broadcast:
+        self._m_api.inc()
         if broadcaster_id not in self.users:
             raise ServiceError(f"unknown broadcaster {broadcaster_id}")
         broadcast = Broadcast(
@@ -76,9 +91,12 @@ class LivestreamService:
         self._broadcasts[broadcast.broadcast_id] = broadcast
         self._live_positions[broadcast.broadcast_id] = len(self._live_ids)
         self._live_ids.append(broadcast.broadcast_id)
+        self._m_starts.inc()
+        self._m_live.set(float(len(self._live_ids)))
         return broadcast
 
     def end_broadcast(self, broadcast_id: int, time: float) -> Broadcast:
+        self._m_api.inc()
         broadcast = self.get_broadcast(broadcast_id)
         broadcast.end(time)
         # O(1) removal: swap with the last live id.
@@ -88,6 +106,8 @@ class LivestreamService:
         self._live_ids.pop()
         if last_id != broadcast_id:
             self._live_positions[last_id] = position
+        self._m_ends.inc()
+        self._m_live.set(float(len(self._live_ids)))
         return broadcast
 
     def get_broadcast(self, broadcast_id: int) -> Broadcast:
@@ -115,6 +135,7 @@ class LivestreamService:
         ingest server over RTMP; later arrivals (and all web viewers) get
         HLS from the edge CDN.
         """
+        self._m_api.inc()
         broadcast = self.get_broadcast(broadcast_id)
         if not broadcast.is_live:
             raise ServiceError(f"broadcast {broadcast_id} has ended")
@@ -131,6 +152,7 @@ class LivestreamService:
             tier = DeliveryTier.HLS
         record = ViewRecord(viewer_id=viewer_id, join_time=time, tier=tier)
         broadcast.views.append(record)
+        self._m_joins.inc()
         return record
 
     def can_comment(self, broadcast_id: int, viewer_id: int) -> bool:
@@ -146,21 +168,26 @@ class LivestreamService:
 
     def comment(self, broadcast_id: int, viewer_id: int, time: float) -> bool:
         """Post a comment; returns False when rejected by the cap."""
+        self._m_api.inc()
         broadcast = self.get_broadcast(broadcast_id)
         if not broadcast.is_live:
             raise ServiceError(f"broadcast {broadcast_id} has ended")
         if not self.can_comment(broadcast_id, viewer_id):
+            self._m_comments_rejected.inc()
             return False
         broadcast.commenter_ids.add(viewer_id)
         broadcast.comments.append(Comment(viewer_id=viewer_id, time=time))
+        self._m_comments.inc()
         return True
 
     def heart(self, broadcast_id: int, viewer_id: int, time: float) -> None:
         """Send a heart — all viewers may heart, without limit."""
+        self._m_api.inc()
         broadcast = self.get_broadcast(broadcast_id)
         if not broadcast.is_live:
             raise ServiceError(f"broadcast {broadcast_id} has ended")
         broadcast.hearts.append(Heart(viewer_id=viewer_id, time=time))
+        self._m_hearts.inc()
 
     # -- discovery --------------------------------------------------------
 
@@ -170,6 +197,8 @@ class LivestreamService:
         Private broadcasts never appear — the paper's crawl (and dataset)
         covers public broadcasts only.
         """
+        self._m_api.inc()
+        self._m_lists.inc()
         live = [
             broadcast_id
             for broadcast_id in self._live_ids

@@ -37,6 +37,36 @@ class TestCdf:
         assert list(ys) == sorted(ys)
         assert ys[-1] == 1.0
 
+    def test_points_dedupe_tied_samples(self):
+        """Regression: tied samples used to emit duplicate x entries with
+        climbing F values — not a function, and a broken step plot."""
+        cdf = Cdf(np.array([1.0, 1.0, 1.0, 2.0]))
+        assert cdf.points() == [(1.0, 0.75), (2.0, 1.0)]
+
+    def test_points_unique_x_even_when_heavily_tied(self):
+        values = np.repeat([1.0, 2.0, 3.0], 100)
+        points = Cdf(values).points(max_points=50)
+        xs = [x for x, _ in points]
+        assert len(xs) == len(set(xs))
+        assert points[-1] == (3.0, 1.0)
+        for x, y in points:
+            assert y == pytest.approx(Cdf(values).at(x))
+
+    @given(
+        values=st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=200
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_points_form_a_proper_step_function(self, values):
+        points = Cdf(np.array(values)).points(max_points=50)
+        xs = [x for x, _ in points]
+        ys = [y for _, y in points]
+        assert xs == sorted(xs)
+        assert len(xs) == len(set(xs))
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
     def test_summary_keys(self):
         summary = Cdf(np.arange(100, dtype=float)).summary()
         assert set(summary) >= {"min", "median", "p90", "max", "mean"}

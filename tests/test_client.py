@@ -44,6 +44,47 @@ class TestOutageSchedule:
         with pytest.raises(ValueError):
             OutageSchedule([(5.0, 4.0)])
 
+    def test_contained_window_does_not_mask_outage(self):
+        """Regression: with [(0, 100), (10, 20)] the window with the latest
+        start <= t=50 is (10, 20), which has ended — but the link is still
+        down until 100.  Merging at construction must make release_time
+        answer from the union of windows."""
+        schedule = OutageSchedule([(0.0, 100.0), (10.0, 20.0)])
+        assert schedule.windows == [(0.0, 100.0)]
+        assert schedule.release_time(50.0) == 100.0
+
+    def test_chained_overlaps_release_past_the_union(self):
+        schedule = OutageSchedule([(0.0, 5.0), (4.0, 9.0), (8.0, 12.0), (30.0, 31.0)])
+        assert schedule.windows == [(0.0, 12.0), (30.0, 31.0)]
+        assert schedule.release_time(1.0) == 12.0
+        assert schedule.release_time(8.5) == 12.0
+        assert schedule.release_time(20.0) == 20.0
+        assert schedule.release_time(30.5) == 31.0
+
+    def test_release_never_lands_inside_any_raw_window(self):
+        """Property: for heavily overlapping sampled windows, the released
+        time is outside every *pre-merge* window."""
+        rng = np.random.default_rng(5)
+        starts = rng.uniform(0.0, 50.0, size=30)
+        durations = rng.exponential(3.0, size=30)
+        raw = [(float(s), float(s + d)) for s, d in zip(starts, durations)]
+        schedule = OutageSchedule(list(raw))
+        for probe in np.linspace(0.0, 60.0, 241):
+            released = schedule.release_time(float(probe))
+            assert released >= probe
+            for start, end in raw:
+                assert not (start <= released < end)
+
+    def test_construction_does_not_mutate_caller_list(self):
+        windows = [(5.0, 6.0), (1.0, 2.0)]
+        OutageSchedule(windows)
+        assert windows == [(5.0, 6.0), (1.0, 2.0)]
+
+    def test_release_time_uses_precomputed_starts(self):
+        schedule = OutageSchedule([(1.0, 2.0), (4.0, 6.0)])
+        assert schedule._starts == [1.0, 4.0]
+        assert schedule.release_time(4.5) == 6.0
+
 
 class TestLastMileLink:
     def test_delivery_after_send(self, rng):

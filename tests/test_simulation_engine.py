@@ -50,6 +50,58 @@ class TestEventQueue:
         assert EventQueue().pop() is None
         assert EventQueue().peek_time() is None
 
+    def test_len_is_constant_time_accounting(self):
+        """Regression: __len__ used to scan the whole heap on every call."""
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(100)]
+        assert len(queue) == 100
+        for event in events[:60]:
+            event.cancel()
+        assert len(queue) == 40
+        # Double-cancel must not double-count.
+        events[0].cancel()
+        assert len(queue) == 40
+        assert queue.cancelled_total == 60
+
+    def test_cancel_after_pop_does_not_corrupt_len(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.pop() is first
+        first.cancel()  # already out of the heap
+        assert len(queue) == 1
+        assert queue.pop().time == 2.0
+        assert len(queue) == 0
+
+    def test_compaction_purges_cancelled_and_keeps_order(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(200)]
+        for event in events[::2]:  # cancel half -> triggers compaction
+            event.cancel()
+        assert queue.heap_size < 200  # cancelled events physically removed
+        assert len(queue) == 100
+        times = [queue.pop().time for _ in range(100)]
+        assert times == [float(i) for i in range(1, 200, 2)]
+        assert queue.pop() is None
+
+    def test_compaction_preserves_tie_order(self):
+        queue = EventQueue()
+        cancels = [queue.push(0.5, lambda: None) for _ in range(80)]
+        ties = [queue.push(1.0, lambda: None) for _ in range(20)]
+        for event in cancels:
+            event.cancel()
+        popped = [queue.pop() for _ in range(20)]
+        assert popped == ties  # insertion order survives heapify
+
+    def test_peek_time_updates_accounting(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 2.0
+        assert len(queue) == 1
+        assert queue.dead == 0  # the cancelled head was purged
+
 
 class TestSimulator:
     def test_runs_actions_in_order(self):

@@ -12,16 +12,21 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 import time
 from dataclasses import dataclass, field
 
 from repro.obs.metrics import MetricsRegistry
 from repro.simulation.engine import Simulator
 
-N_EVENTS = 30_000
-ROUNDS = 9
+#: Smoke mode (OBS_OVERHEAD_SMOKE=1): a fast CI-gate pass that still
+#: exercises both code paths but with a smaller workload and a looser
+#: budget (short runs are noisier).
+_SMOKE = os.environ.get("OBS_OVERHEAD_SMOKE", "") not in ("", "0")
+N_EVENTS = 5_000 if _SMOKE else 30_000
+ROUNDS = 3 if _SMOKE else 9
 #: Budget for the default (NullRegistry) path vs the bare loop.
-MAX_OVERHEAD = 1.10
+MAX_OVERHEAD = 1.35 if _SMOKE else 1.10
 
 
 @dataclass(order=True)

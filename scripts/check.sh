@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Repo health check: byte-compile everything, then run the tier-1 suite.
+# Repo health check: byte-compile everything, run the tier-1 suite (tier2
+# chaos sweeps excluded — run them with `pytest -m tier2`), then smoke the
+# observability overhead budget.
 # Usage: scripts/check.sh [extra pytest args...]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 python -m compileall -q src
-PYTHONPATH=src python -m pytest -x -q "$@"
+PYTHONPATH=src python -m pytest -x -q -m "not tier2" "$@"
+OBS_OVERHEAD_SMOKE=1 PYTHONPATH=src python -m pytest -x -q \
+    benchmarks/test_obs_overhead.py::test_null_registry_overhead_within_budget

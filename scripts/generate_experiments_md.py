@@ -172,6 +172,23 @@ def _rows_for(result) -> list[tuple[str, str, str]]:
             ("signature defense detects", "all tampering", f"{rows['attack_with_defense']['detected']}/{rows['attack_with_defense']['tampered']}"),
             ("RTMPS prevents attack", "yes (FB Live)", str(not rows["attack_with_rtmps"]["attack_succeeded"])),
         ]
+    if eid == "faultsweep":
+        full = next(
+            p for p in d["points"] if p["naive"].fault_intensity == 1.0
+        )
+        naive, resil = full["naive"], full["resilient"]
+        return [
+            ("resilient strictly dominates naive", "every non-zero intensity",
+             "yes" if d["dominated_everywhere"] else "NO"),
+            ("zero-intensity run vs faultless baseline", "identical",
+             "identical" if d["baseline_identical"] else "DIFFERS"),
+            ("crawler coverage at intensity 1", "resilient >> naive",
+             f"{resil.coverage:.2f} vs {naive.coverage:.2f}"),
+            ("chunk delivery ratio at intensity 1", "resilient >> naive",
+             f"{resil.delivery_ratio:.2f} vs {naive.delivery_ratio:.2f}"),
+            ("censored p99 delay at intensity 1", "resilient << naive",
+             f"{resil.p99_e2e_delay_s:.1f} s vs {naive.p99_e2e_delay_s:.1f} s"),
+        ]
     return []
 
 

@@ -8,7 +8,8 @@ gateway POP, and serve HLS viewers who poll every 2–2.8 s.
 """
 
 from repro.cdn.assignment import CdnAssignment
-from repro.cdn.fastly import FastlyEdge
+from repro.cdn.fastly import EdgeUnavailable, FastlyEdge
+from repro.cdn.queueing import ServerQueue
 from repro.cdn.server_load import LoadPoint, ServerLoadModel
 from repro.cdn.transfer import TransferModel
 from repro.cdn.wowza import IngestRecord, WowzaIngest
@@ -18,6 +19,8 @@ __all__ = [
     "WowzaIngest",
     "IngestRecord",
     "FastlyEdge",
+    "EdgeUnavailable",
+    "ServerQueue",
     "TransferModel",
     "ServerLoadModel",
     "LoadPoint",

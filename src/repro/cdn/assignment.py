@@ -13,7 +13,7 @@ The paper's §5.3 findings, encoded as policy:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.geo.coordinates import GeoPoint
 from repro.geo.datacenters import (
@@ -53,3 +53,19 @@ class CdnAssignment:
     def fastly_for_viewer(self, location: GeoPoint) -> Datacenter:
         """Anycast: the nearest edge POP."""
         return nearest_datacenter(location, self.fastly_sites)
+
+    def ranked_fastly_for_viewer(
+        self, location: GeoPoint, count: Optional[int] = None
+    ) -> list[Datacenter]:
+        """Edge POPs by increasing distance from the viewer (ties broken by
+        POP name for determinism).
+
+        The failover order: when a viewer's POP stops answering, it
+        re-resolves to the next-nearest POP in this list and resumes the
+        chunklist from the last seen sequence.
+        """
+        ranked = sorted(
+            self.fastly_sites,
+            key=lambda site: (location.distance_km(site.location), site.name),
+        )
+        return ranked if count is None else ranked[:count]

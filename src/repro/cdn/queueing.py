@@ -32,6 +32,9 @@ class ServerQueue:
     poll_service_s: float = 0.002
     #: Service time per chunk assembly.
     chunk_service_s: float = 0.02
+    #: Fault surface (set by repro.faults): multiplies every service time
+    #: while the server is overloaded (1.0 = healthy).
+    fault_slowdown: float = 1.0
     metrics: MetricsRegistry = field(default=NULL_REGISTRY, repr=False)
     _backlog_free_at: float = field(default=0.0, init=False)
     requests_served: int = field(default=0, init=False)
@@ -46,6 +49,7 @@ class ServerQueue:
 
     def _serve(self, service_s: float) -> float:
         now = self.simulator.now
+        service_s *= self.fault_slowdown
         start = max(now, self._backlog_free_at)
         completion = start + service_s
         self._backlog_free_at = completion

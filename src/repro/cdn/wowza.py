@@ -82,6 +82,12 @@ class WowzaIngest:
         self.datacenter = datacenter
         self.simulator = simulator
         self.frames_per_chunk = frames_per_chunk
+        #: Fault surface (set by repro.faults): while False, origin pulls
+        #: against this server fail at the edge; ingest itself continues.
+        self.origin_available: bool = True
+        #: Fault surface: multiplies edge→origin pull transfer times while
+        #: the server is degraded (overloaded Wowza, §5 delay spikes).
+        self.fault_delay_factor: float = 1.0
         self._broadcasts: dict[int, _BroadcastIngest] = {}
         self._expiry_listeners: dict[int, list[ExpiryListener]] = {}
         self._m_frames = metrics.counter("cdn.wowza.frames_received", help="RTMP frames ingested")

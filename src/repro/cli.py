@@ -38,7 +38,9 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment IDs to run (e.g. table1 fig11); see --list. "
             "The special target 'metrics' runs a small instrumented "
-            "scenario and prints the observability registry as JSON."
+            "scenario and prints the observability registry as JSON; "
+            "'chaos' runs the fault-injection scenario in both naive and "
+            "resilient postures and prints the comparison."
         ),
     )
     parser.add_argument("--list", action="store_true", help="list experiment IDs and exit")
@@ -51,6 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--broadcasts", type=int, default=None,
         help="delay-crawl campaign size for fig12/13/16/17 (default 60)",
+    )
+    parser.add_argument(
+        "--intensity", type=float, default=None,
+        help="fault intensity for the 'chaos' target (default 1.0)",
     )
     parser.add_argument(
         "--expect", action="store_true",
@@ -83,7 +89,45 @@ def _kwargs_for(experiment_id: str, args: argparse.Namespace) -> dict:
         kwargs["seed"] = args.seed
     elif experiment_id == "fig15" and args.seed is not None:
         kwargs["seed"] = args.seed
+    elif experiment_id == "faultsweep" and args.seed is not None:
+        kwargs["seed"] = args.seed
     return kwargs
+
+
+def _render_chaos(seed: int, intensity: float) -> str:
+    """Run the chaos pair and format the naive/resilient comparison."""
+    from repro.faults.scenario import run_chaos_pair
+
+    naive, resilient = run_chaos_pair(seed=seed, fault_intensity=intensity)
+    rows = [
+        ("crawler coverage", f"{naive.coverage:.3f}", f"{resilient.coverage:.3f}"),
+        ("chunk delivery ratio", f"{naive.delivery_ratio:.3f}", f"{resilient.delivery_ratio:.3f}"),
+        ("mean e2e delay (s)", f"{naive.mean_e2e_delay_s:.2f}", f"{resilient.mean_e2e_delay_s:.2f}"),
+        ("p99 e2e delay (s)", f"{naive.p99_e2e_delay_s:.2f}", f"{resilient.p99_e2e_delay_s:.2f}"),
+        ("viewer poll failures", str(naive.viewer_poll_failures), str(resilient.viewer_poll_failures)),
+        ("viewer retries", str(naive.viewer_retries), str(resilient.viewer_retries)),
+        ("edge failovers", str(naive.viewer_failovers), str(resilient.viewer_failovers)),
+        ("stale chunklists served", str(naive.stale_served), str(resilient.stale_served)),
+        ("crawler queries failed", str(naive.queries_failed), str(resilient.queries_failed)),
+        ("crawler retries", str(naive.crawler_retries), str(resilient.crawler_retries)),
+    ]
+    width = max(len(name) for name, _, _ in rows)
+    lines = [
+        f"Chaos run — seed {seed}, fault intensity {intensity:g}, "
+        f"{naive.faults_injected} faults, availability {naive.availability:.3f}",
+        f"{'':<{width}}  {'naive':>10}  {'resilient':>10}",
+    ]
+    lines += [f"{name:<{width}}  {n:>10}  {r:>10}" for name, n, r in rows]
+    lines.append(
+        "Resilient strictly dominates naive."
+        if resilient.dominates(naive)
+        else (
+            "No faults injected — postures are identical."
+            if intensity == 0
+            else "WARNING: resilient does not strictly dominate naive at this point."
+        )
+    )
+    return "\n".join(lines)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -128,6 +172,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sink.close()
         return 0
 
+    if "chaos" in args.experiments:
+        if len(args.experiments) > 1 or args.all:
+            print(
+                "error: 'chaos' prints a naive/resilient comparison and cannot "
+                "be combined with other experiments",
+                file=sys.stderr,
+            )
+            return 2
+        emit(
+            _render_chaos(
+                seed=args.seed if args.seed is not None else 7,
+                intensity=args.intensity if args.intensity is not None else 1.0,
+            )
+        )
+        if sink is not None:
+            sink.close()
+        return 0
+
     targets = list_experiments() if args.all else list(args.experiments)
     if not targets:
         parser.print_usage()
@@ -138,7 +200,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     unknown = [t for t in targets if t not in known]
     if unknown:
         print(f"error: unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"known: {', '.join(list_experiments())} (plus the special target 'metrics')", file=sys.stderr)
+        print(f"known: {', '.join(list_experiments())} (plus the special targets 'metrics' and 'chaos')", file=sys.stderr)
         return 2
 
     for index, experiment_id in enumerate(targets):

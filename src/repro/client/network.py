@@ -116,6 +116,8 @@ class LastMileLink:
 
     def send(self, time: float, size_kb: float = 0.0) -> float:
         """Delivery time for a packet sent at ``time``."""
+        if size_kb < 0:
+            raise ValueError(f"size_kb must be non-negative (got {size_kb})")
         if time < self._last_send:
             raise ValueError(
                 f"sends must be time-ordered ({time} < {self._last_send})"

@@ -8,14 +8,16 @@ paper's trace-driven methodology (§6).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.cdn.fastly import FastlyEdge
+from repro.cdn.fastly import EdgeUnavailable, FastlyEdge
 from repro.cdn.wowza import WowzaIngest
 from repro.client.network import LastMileLink
+from repro.faults.resilience import RetryPolicy
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.protocols.frames import Chunk, VideoFrame
 from repro.protocols.hls import Chunklist
@@ -90,6 +92,21 @@ class HlsViewerClient:
     Polls its edge POP's chunklist every ``poll_interval_s`` (Periscope:
     uniform in 2–2.8 s), downloads chunks it has not seen, and records
     their arrival times.
+
+    Resilience (both opt-in; the defaults reproduce the naive seed client):
+
+    * ``retry_policy`` — when a poll fails with
+      :class:`~repro.cdn.fastly.EdgeUnavailable` (or times out, if the
+      policy sets a finite ``attempt_timeout_s``), retry with backoff
+      instead of waiting a full poll interval.
+    * ``failover_edges`` — once retries against the current POP are
+      exhausted, re-resolve to the next candidate POP (use
+      :meth:`repro.cdn.assignment.CdnAssignment.ranked_fastly_for_viewer`)
+      and resume the chunklist from the last downloaded sequence.  Every
+      candidate must have the broadcast attached.
+
+    A naive client (no policy) swallows the failure and keeps its normal
+    cadence against the same POP — it tolerates faults but never adapts.
     """
 
     viewer_id: int
@@ -100,50 +117,179 @@ class HlsViewerClient:
     poll_interval_s: float = 2.4
     chunk_kb: float = 300.0
     stop_after: float = float("inf")
+    retry_policy: Optional[RetryPolicy] = None
+    failover_edges: Sequence[FastlyEdge] = ()
     metrics: MetricsRegistry = field(default=NULL_REGISTRY, repr=False)
     chunk_arrivals: dict[int, float] = field(default_factory=dict)
     chunk_captures: dict[int, float] = field(default_factory=dict)  # ⑤ per chunk
     chunk_response_times: dict[int, float] = field(default_factory=dict)  # ⑭ per chunk
     poll_times: list[float] = field(default_factory=list)
+    poll_failures: int = field(default=0, init=False)
+    retries: int = field(default=0, init=False)
+    failovers: int = field(default=0, init=False)
     _last_downloaded: Optional[int] = field(default=None, init=False)
     _stopped: bool = field(default=False, init=False)
+    _loop_epoch: int = field(default=0, init=False)
+    _attempt: int = field(default=0, init=False)
+    _outage_started: Optional[float] = field(default=None, init=False)
+    _ring_index: int = field(default=0, init=False)
+    _poll_seq: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.poll_interval_s <= 0:
             raise ValueError("poll interval must be positive")
+        # Failover ring: the primary POP first, then the other candidates
+        # in the order given (nearest-first when built from the ranked
+        # assignment).
+        ring = [self.edge]
+        for candidate in self.failover_edges:
+            if candidate is not self.edge:
+                ring.append(candidate)
+        self._ring = ring
+        self._outstanding: set[int] = set()
         obs = self.metrics
         self._m_polls = obs.counter("client.hls.polls", help="chunklist polls sent")
         self._m_empty = obs.counter(
             "client.hls.empty_polls", help="polls that surfaced no new chunk (stall signal)"
         )
         self._m_chunks = obs.counter("client.hls.chunks_downloaded")
+        self._m_poll_failures = obs.counter(
+            "client.hls.poll_failures", help="polls that failed (POP down or timed out)"
+        )
+        self._m_retries = obs.counter("client.hls.retries", help="backoff retries scheduled")
+        self._m_failovers = obs.counter(
+            "client.hls.failovers", help="re-resolutions to another POP"
+        )
+        self._m_timeouts = obs.counter(
+            "client.hls.poll_timeouts", help="poll responses abandoned after attempt_timeout_s"
+        )
+        self._h_recovery = obs.histogram(
+            "resilience.recovery_time_s",
+            help="outage start to first successful response",
+        )
 
     def start_polling(self, first_poll_at: float) -> None:
-        self.simulator.schedule_at(
-            max(first_poll_at, self.simulator.now), self._poll, label=f"hls-poll:{self.viewer_id}"
-        )
+        self._schedule_poll_at(first_poll_at)
 
     def stop(self) -> None:
         self._stopped = True
 
-    def _poll(self) -> None:
-        if self._stopped or self.simulator.now > self.stop_after:
-            return
-        self.poll_times.append(self.simulator.now)
-        self._m_polls.inc()
-        self.edge.poll(self.broadcast_id, self._on_chunklist)
-        self.simulator.schedule(
-            self.poll_interval_s, self._poll, label=f"hls-poll:{self.viewer_id}"
+    # -- the poll loop -----------------------------------------------------
+    #
+    # Exactly one pending tick drives the loop.  Every (re)schedule bumps
+    # ``_loop_epoch``, and stale ticks return immediately, so the retry and
+    # watchdog paths can reschedule aggressively without ever forking the
+    # loop into two concurrent cadences.
+
+    def _schedule_poll_at(self, time: float) -> None:
+        self._loop_epoch += 1
+        self.simulator.schedule_at(
+            max(time, self.simulator.now),
+            _PollTick(self, self._loop_epoch),
+            label=f"hls-poll:{self.viewer_id}",
         )
 
-    def _on_chunklist(self, chunklist: Chunklist, response_time: float) -> None:
+    def _schedule_poll(self, delay: float) -> None:
+        self._schedule_poll_at(self.simulator.now + delay)
+
+    def _poll(self, epoch: int) -> None:
+        if epoch != self._loop_epoch:
+            return  # superseded by a retry/failover reschedule
+        if self._stopped or self.simulator.now > self.stop_after:
+            return
+        now = self.simulator.now
+        self.poll_times.append(now)
+        self._m_polls.inc()
+        policy = self.retry_policy
+        seq: Optional[int] = None
+        if policy is not None and math.isfinite(policy.attempt_timeout_s):
+            self._poll_seq += 1
+            seq = self._poll_seq
+            self._outstanding.add(seq)
+        callback = self._on_chunklist if seq is None else _TrackedResponse(self, seq)
+        try:
+            self.edge.poll(self.broadcast_id, callback)
+        except EdgeUnavailable:
+            if seq is not None:
+                self._outstanding.discard(seq)
+            self.poll_failures += 1
+            self._m_poll_failures.inc()
+            if self._outage_started is None:
+                self._outage_started = now
+            self._handle_poll_failure()
+            return
+        if seq is not None and seq in self._outstanding:
+            # The response is deferred (queued or waiting on an origin
+            # pull): arm a watchdog so a hung attempt cannot stall us.
+            self.simulator.schedule(
+                policy.attempt_timeout_s,
+                _PollWatchdog(self, seq),
+                label=f"hls-watchdog:{self.viewer_id}",
+            )
+        self._schedule_poll(self.poll_interval_s)
+
+    def _handle_poll_failure(self) -> None:
+        policy = self.retry_policy
+        if policy is None:
+            # Naive client: skip this cycle, keep the cadence.
+            self._schedule_poll(self.poll_interval_s)
+            return
+        delay = policy.next_delay(
+            self._attempt, elapsed_s=self.simulator.now - self._outage_started
+        )
+        if delay is not None:
+            self._attempt += 1
+            self.retries += 1
+            self._m_retries.inc()
+            self._schedule_poll(delay)
+            return
+        self._failover()
+
+    def _failover(self) -> None:
+        """Re-resolve to the next candidate POP and resume from the last
+        downloaded chunk (``_last_downloaded`` carries across edges)."""
+        if len(self._ring) > 1:
+            self._ring_index = (self._ring_index + 1) % len(self._ring)
+            self.edge = self._ring[self._ring_index]
+            self.failovers += 1
+            self._m_failovers.inc()
+        self._attempt = 0
+        # Probe the new POP after the base backoff, not a full interval.
+        assert self.retry_policy is not None
+        self._schedule_poll(self.retry_policy.base_delay_s)
+
+    def _on_poll_timeout(self, seq: int) -> None:
+        if seq not in self._outstanding:
+            return  # the response arrived in time
+        self._outstanding.discard(seq)
+        self.poll_failures += 1
+        self._m_poll_failures.inc()
+        self._m_timeouts.inc()
+        if self._outage_started is None:
+            self._outage_started = self.simulator.now
+        self._handle_poll_failure()
+
+    def _on_chunklist(
+        self, chunklist: Chunklist, response_time: float, seq: Optional[int] = None
+    ) -> None:
+        if seq is not None:
+            self._outstanding.discard(seq)
         if self._stopped:
             return
+        if self._outage_started is not None:
+            self._h_recovery.observe(response_time - self._outage_started)
+            self._outage_started = None
+        self._attempt = 0
         fetched = 0
         for entry in chunklist.entries_after(self._last_downloaded):
+            try:
+                chunk = self.edge.chunk_payload(self.broadcast_id, entry.chunk_index)
+            except KeyError:
+                # A late response from a POP we already failed away from;
+                # the current POP will serve these on the next poll.
+                break
             self._last_downloaded = entry.chunk_index
             self.chunk_response_times[entry.chunk_index] = response_time
-            chunk = self.edge.chunk_payload(self.broadcast_id, entry.chunk_index)
             arrival = self.downlink.send(response_time, size_kb=self.chunk_kb)
             self.simulator.schedule_at(
                 max(arrival, self.simulator.now),
@@ -177,3 +323,36 @@ class _RecordChunk:
 
     def __call__(self) -> None:
         self._client._record(self._chunk, self._client.simulator.now)
+
+
+class _PollTick:
+    """One scheduled iteration of a viewer's poll loop."""
+
+    def __init__(self, client: HlsViewerClient, epoch: int) -> None:
+        self._client = client
+        self._epoch = epoch
+
+    def __call__(self) -> None:
+        self._client._poll(self._epoch)
+
+
+class _TrackedResponse:
+    """A poll callback that clears its watchdog on arrival."""
+
+    def __init__(self, client: HlsViewerClient, seq: int) -> None:
+        self._client = client
+        self._seq = seq
+
+    def __call__(self, chunklist: Chunklist, response_time: float) -> None:
+        self._client._on_chunklist(chunklist, response_time, seq=self._seq)
+
+
+class _PollWatchdog:
+    """Fires if a poll response has not arrived within the attempt timeout."""
+
+    def __init__(self, client: HlsViewerClient, seq: int) -> None:
+        self._client = client
+        self._seq = seq
+
+    def __call__(self) -> None:
+        self._client._on_poll_timeout(self._seq)

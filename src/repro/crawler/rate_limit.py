@@ -30,6 +30,9 @@ class TokenBucket:
     rate_per_s: float
     capacity: float
     metrics: MetricsRegistry = field(default=NULL_REGISTRY, repr=False)
+    #: Fault-injection surface: refill-rate multiplier in (0, 1] while the
+    #: bucket is starved (1.0 = healthy).  Set by ``repro.faults``.
+    fault_refill_factor: float = field(default=1.0, init=False, repr=False)
     _tokens: float = field(init=False)
     _last_refill: float = field(default=0.0, init=False)
 
@@ -42,11 +45,17 @@ class TokenBucket:
         self._m_granted = self.metrics.counter("crawler.ratelimit.granted", help="acquisitions that got tokens")
         self._m_throttled = self.metrics.counter("crawler.ratelimit.throttled", help="acquisitions denied for lack of tokens")
 
+    @property
+    def effective_rate_per_s(self) -> float:
+        """The refill rate after any injected starvation factor."""
+        return self.rate_per_s * self.fault_refill_factor
+
     def _refill(self, now: float) -> None:
         if now < self._last_refill:
             raise ValueError("time went backwards")
         self._tokens = min(
-            self.capacity, self._tokens + (now - self._last_refill) * self.rate_per_s
+            self.capacity,
+            self._tokens + (now - self._last_refill) * self.effective_rate_per_s,
         )
         self._last_refill = now
 
@@ -54,6 +63,11 @@ class TokenBucket:
         """Take ``tokens`` if available; returns False when throttled."""
         if tokens <= 0:
             raise ValueError("tokens must be positive")
+        if tokens > self.capacity:
+            raise ValueError(
+                f"{tokens} token(s) requested but capacity is {self.capacity}; "
+                "the request can never be satisfied"
+            )
         self._refill(now)
         if self._tokens >= tokens:
             self._tokens -= tokens
@@ -62,12 +76,38 @@ class TokenBucket:
         self._m_throttled.inc()
         return False
 
+    def time_until_available(self, now: float, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` will be available (0.0 when they already
+        are).  Pure query: no state is mutated, so a retry policy can use it
+        to schedule the next attempt instead of blind polling.
+        """
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        if tokens > self.capacity:
+            raise ValueError(
+                f"{tokens} token(s) requested but capacity is {self.capacity}; "
+                "the request can never be satisfied"
+            )
+        if now < self._last_refill:
+            raise ValueError("time went backwards")
+        tokens_now = min(
+            self.capacity,
+            self._tokens + (now - self._last_refill) * self.effective_rate_per_s,
+        )
+        if tokens_now >= tokens:
+            return 0.0
+        return (tokens - tokens_now) / self.effective_rate_per_s
+
     def acquire(self, now: float, tokens: float = 1.0) -> None:
         """Take ``tokens`` or raise :class:`RateLimitExceeded`."""
         if not self.try_acquire(now, tokens):
             raise RateLimitExceeded(
                 f"{tokens} token(s) requested, {self._tokens:.2f} available"
             )
+
+    def drain(self) -> None:
+        """Remove all tokens immediately (fault injection: quota revoked)."""
+        self._tokens = 0.0
 
     @property
     def available(self) -> float:

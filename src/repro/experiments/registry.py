@@ -35,6 +35,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.fig16",
     "repro.experiments.fig17",
     "repro.experiments.fig18",
+    "repro.experiments.faultsweep",
 )
 
 

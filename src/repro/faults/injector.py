@@ -1,0 +1,250 @@
+"""The fault injector: executes a :class:`~repro.faults.plan.FaultPlan`
+through simulator events.
+
+Components register under string names; the injector schedules one
+activation and one clearing event per window and mutates the components'
+documented fault surfaces (``fault_down``, ``fault_delay_factor``,
+``origin_available``, ``fault_slowdown``, brownout rate, bucket refill
+factor).  All state changes happen inside the event loop — never from wall
+clock — so runs are reproducible, and overlapping windows on the same
+component compose (a component is healthy again only when its *last*
+overlapping window clears; degradations take the max active slowdown).
+
+The injector never imports concrete component classes: targets are duck
+typed against the fault-surface attributes, which keeps ``repro.faults``
+free of runtime dependencies on ``repro.cdn``/``repro.platform``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.faults.plan import FaultKind, FaultPlan, FaultWindow
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.simulation.engine import Simulator
+
+#: Which registry a kind's targets live in.
+_CATEGORY = {
+    FaultKind.EDGE_DOWN: "edge",
+    FaultKind.EDGE_DEGRADED: "edge",
+    FaultKind.ORIGIN_DOWN: "origin",
+    FaultKind.ORIGIN_DEGRADED: "origin",
+    FaultKind.QUEUE_OVERLOAD: "queue",
+    FaultKind.SERVICE_BROWNOUT: "service",
+    FaultKind.CRAWLER_STARVATION: "bucket",
+}
+
+
+class FaultInjector:
+    """Arms fault plans against registered components."""
+
+    def __init__(
+        self, simulator: Simulator, metrics: MetricsRegistry = NULL_REGISTRY
+    ) -> None:
+        self.simulator = simulator
+        self._components: dict[str, dict[str, Any]] = {
+            "edge": {}, "origin": {}, "queue": {}, "service": {}, "bucket": {},
+        }
+        self._service_rng: Optional[np.random.Generator] = None
+        # (kind, target-name) -> windows currently in effect.
+        self._active: dict[tuple[FaultKind, str], list[FaultWindow]] = {}
+        self._active_total = 0
+        self._armed_at: Optional[float] = None
+        self._down_since: Optional[float] = None
+        self._downtime_s = 0.0
+        self._m_activated = metrics.counter("faults.activated", help="fault windows that took effect")
+        self._m_cleared = metrics.counter("faults.cleared", help="fault windows that ended")
+        self._m_by_kind = {
+            kind: metrics.counter(f"faults.{kind.value}.activations")
+            for kind in FaultKind
+        }
+        self._g_active = metrics.gauge("faults.active", help="fault windows in effect now")
+        self._h_window = metrics.histogram("faults.window_s", help="scheduled fault window lengths")
+        self._h_mttr = metrics.histogram("faults.mttr_s", help="time from fault activation to clearing")
+        self._g_availability = metrics.gauge(
+            "faults.system_availability",
+            help="fraction of armed time with no fault active (union over windows)",
+        )
+        metrics.add_collector(self._collect)
+
+    # -- registration ----------------------------------------------------
+
+    def register_edge(self, name: str, edge: Any) -> None:
+        """An object exposing ``fault_down`` and ``fault_delay_factor``."""
+        self._register("edge", name, edge)
+
+    def register_origin(self, name: str, origin: Any) -> None:
+        """An object exposing ``origin_available`` and ``fault_delay_factor``."""
+        self._register("origin", name, origin)
+
+    def register_queue(self, name: str, queue: Any) -> None:
+        """An object exposing ``fault_slowdown``."""
+        self._register("queue", name, queue)
+
+    def register_service(
+        self, name: str, service: Any, rng: np.random.Generator
+    ) -> None:
+        """An object exposing ``set_brownout(rate, rng)`` / ``clear_brownout()``.
+
+        ``rng`` supplies the brownout coin flips; it is consumed only while
+        a brownout window is active.
+        """
+        self._register("service", name, service)
+        self._service_rng = rng
+
+    def register_bucket(self, name: str, bucket: Any) -> None:
+        """An object exposing ``fault_refill_factor`` and ``drain()``."""
+        self._register("bucket", name, bucket)
+
+    def _register(self, category: str, name: str, component: Any) -> None:
+        table = self._components[category]
+        if name in table:
+            raise ValueError(f"{category} {name!r} already registered")
+        table[name] = component
+
+    # -- arming ----------------------------------------------------------
+
+    def arm(self, plan: FaultPlan) -> None:
+        """Schedule every window of ``plan`` relative to *now*.
+
+        Raises :class:`ValueError` if a window names an unregistered
+        target, so misconfigurations fail at arm time, not mid-run.
+        """
+        now = self.simulator.now
+        if self._armed_at is None:
+            self._armed_at = now
+        for window in plan:
+            self._resolve(window)  # validate targets up front
+            self._h_window.observe(window.duration_s)
+            self.simulator.schedule_at(
+                now + window.start_s,
+                _Transition(self, window, activate=True),
+                label=f"fault-on:{window.kind.value}",
+            )
+            self.simulator.schedule_at(
+                now + window.end_s,
+                _Transition(self, window, activate=False),
+                label=f"fault-off:{window.kind.value}",
+            )
+
+    def _resolve(self, window: FaultWindow) -> list[tuple[str, Any]]:
+        table = self._components[_CATEGORY[window.kind]]
+        if window.target == "*":
+            if not table:
+                raise ValueError(
+                    f"no {_CATEGORY[window.kind]} registered for {window.kind.value}"
+                )
+            return sorted(table.items())
+        if window.target not in table:
+            raise ValueError(
+                f"unknown {_CATEGORY[window.kind]} target {window.target!r}"
+            )
+        return [(window.target, table[window.target])]
+
+    # -- transitions -----------------------------------------------------
+
+    def _activate(self, window: FaultWindow) -> None:
+        self._m_activated.inc()
+        self._m_by_kind[window.kind].inc()
+        if self._active_total == 0:
+            self._down_since = self.simulator.now
+        self._active_total += 1
+        self._g_active.inc()
+        for name, component in self._resolve(window):
+            actives = self._active.setdefault((window.kind, name), [])
+            actives.append(window)
+            self._apply(window.kind, component, actives, activating=window)
+
+    def _deactivate(self, window: FaultWindow) -> None:
+        self._m_cleared.inc()
+        self._h_mttr.observe(window.duration_s)
+        self._active_total -= 1
+        self._g_active.dec()
+        if self._active_total == 0 and self._down_since is not None:
+            self._downtime_s += self.simulator.now - self._down_since
+            self._down_since = None
+        for name, component in self._resolve(window):
+            actives = self._active.get((window.kind, name), [])
+            if window in actives:
+                actives.remove(window)
+            self._apply(window.kind, component, actives, activating=None)
+
+    def _apply(
+        self,
+        kind: FaultKind,
+        component: Any,
+        actives: list[FaultWindow],
+        activating: Optional[FaultWindow],
+    ) -> None:
+        """Recompute a component's fault surface from its active windows."""
+        if kind is FaultKind.EDGE_DOWN:
+            component.fault_down = bool(actives)
+        elif kind in (FaultKind.EDGE_DEGRADED, FaultKind.ORIGIN_DEGRADED):
+            component.fault_delay_factor = max(
+                (w.intensity for w in actives), default=1.0
+            )
+        elif kind is FaultKind.ORIGIN_DOWN:
+            component.origin_available = not actives
+        elif kind is FaultKind.QUEUE_OVERLOAD:
+            component.fault_slowdown = max(
+                (w.intensity for w in actives), default=1.0
+            )
+        elif kind is FaultKind.SERVICE_BROWNOUT:
+            if actives:
+                component.set_brownout(
+                    max(w.intensity for w in actives), self._service_rng
+                )
+            else:
+                component.clear_brownout()
+        elif kind is FaultKind.CRAWLER_STARVATION:
+            component.fault_refill_factor = min(
+                (w.intensity for w in actives), default=1.0
+            )
+            if activating is not None:
+                component.drain()  # the quota is revoked, not just slowed
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        """Fault windows in effect right now."""
+        return self._active_total
+
+    @property
+    def downtime_s(self) -> float:
+        """Union time with >= 1 fault active since arming (up to now)."""
+        extra = (
+            self.simulator.now - self._down_since
+            if self._down_since is not None
+            else 0.0
+        )
+        return self._downtime_s + extra
+
+    def availability(self) -> float:
+        """Fraction of armed time with no fault active."""
+        if self._armed_at is None:
+            return 1.0
+        elapsed = self.simulator.now - self._armed_at
+        if elapsed <= 0:
+            return 1.0
+        return 1.0 - self.downtime_s / elapsed
+
+    def _collect(self, registry: MetricsRegistry) -> None:
+        self._g_availability.set(self.availability())
+
+
+class _Transition:
+    """One scheduled fault activation or clearing."""
+
+    def __init__(self, injector: FaultInjector, window: FaultWindow, activate: bool) -> None:
+        self._injector = injector
+        self._window = window
+        self._activate = activate
+
+    def __call__(self) -> None:
+        if self._activate:
+            self._injector._activate(self._window)
+        else:
+            self._injector._deactivate(self._window)

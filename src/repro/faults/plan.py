@@ -1,0 +1,183 @@
+"""Fault plans: *what* goes wrong, *where*, and *when*.
+
+A :class:`FaultPlan` is a pure-data schedule of :class:`FaultWindow`\\ s.
+Plans are either hand-written (tests, targeted what-ifs) or Poisson-sampled
+from a seeded generator via :meth:`FaultPlan.sample` — the same seed always
+yields the same plan, and because the :class:`~repro.faults.injector.FaultInjector`
+executes plans purely through simulator events, the same (seed, plan) pair
+yields byte-identical runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+class FaultKind(str, Enum):
+    """The failure modes the injector knows how to inflict."""
+
+    #: A Fastly POP stops answering polls (viewers see ``EdgeUnavailable``).
+    EDGE_DOWN = "edge_down"
+    #: A POP's origin-pull transfers slow down by ``intensity``×.
+    EDGE_DEGRADED = "edge_degraded"
+    #: A Wowza origin stops serving pulls (edges fail and serve stale).
+    ORIGIN_DOWN = "origin_down"
+    #: An origin's pull transfers slow down by ``intensity``×.
+    ORIGIN_DEGRADED = "origin_degraded"
+    #: A POP front-end queue's service times inflate by ``intensity``×.
+    QUEUE_OVERLOAD = "queue_overload"
+    #: The platform API fails calls with probability ``intensity``.
+    SERVICE_BROWNOUT = "service_brownout"
+    #: Crawler token buckets drain and refill at ``intensity``× rate.
+    CRAWLER_STARVATION = "crawler_starvation"
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One fault: a kind, a target, a time window, and an intensity.
+
+    ``target`` names a component registered with the injector (``"*"``
+    means every registered component of the kind's category).  The
+    meaning of ``intensity`` depends on ``kind`` — a slowdown multiplier
+    for degradations/overloads, a failure probability for brownouts, a
+    refill-rate multiplier for starvation; ignored for hard downs.
+    """
+
+    kind: FaultKind
+    start_s: float
+    duration_s: float
+    target: str = "*"
+    intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError("start_s must be non-negative")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.intensity < 0:
+            raise ValueError("intensity must be non-negative")
+        if self.kind is FaultKind.SERVICE_BROWNOUT and self.intensity > 1.0:
+            raise ValueError("brownout intensity is a probability (<= 1)")
+
+    @property
+    def end_s(self) -> float:
+        """When the fault clears."""
+        return self.start_s + self.duration_s
+
+    def active_at(self, time_s: float) -> bool:
+        """Is this fault in effect at ``time_s``?  (Half-open window.)"""
+        return self.start_s <= time_s < self.end_s
+
+
+#: How window intensity is derived from sweep intensity, per kind.
+_SEVERITY_NOTES = {
+    FaultKind.EDGE_DOWN: "n/a",
+    FaultKind.ORIGIN_DOWN: "n/a",
+    FaultKind.EDGE_DEGRADED: "slowdown 1 + 4·intensity",
+    FaultKind.ORIGIN_DEGRADED: "slowdown 1 + 4·intensity",
+    FaultKind.QUEUE_OVERLOAD: "slowdown 1 + 4·intensity",
+    FaultKind.SERVICE_BROWNOUT: "fail rate min(0.9, 0.3 + 0.5·intensity)",
+    FaultKind.CRAWLER_STARVATION: "refill factor 1 / (1 + 4·intensity)",
+}
+
+
+def _window_intensity(kind: FaultKind, intensity: float) -> float:
+    if kind in (FaultKind.EDGE_DOWN, FaultKind.ORIGIN_DOWN):
+        return 1.0
+    if kind is FaultKind.SERVICE_BROWNOUT:
+        return min(0.9, 0.3 + 0.5 * intensity)
+    if kind is FaultKind.CRAWLER_STARVATION:
+        return 1.0 / (1.0 + 4.0 * intensity)
+    return 1.0 + 4.0 * intensity
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, time-sorted schedule of fault windows."""
+
+    windows: tuple[FaultWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(
+                self.windows,
+                key=lambda w: (w.start_s, w.duration_s, w.kind.value, w.target),
+            )
+        )
+        object.__setattr__(self, "windows", ordered)
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    def __iter__(self) -> Iterator[FaultWindow]:
+        return iter(self.windows)
+
+    def active_at(self, time_s: float) -> list[FaultWindow]:
+        """All windows in effect at ``time_s``."""
+        return [w for w in self.windows if w.active_at(time_s)]
+
+    @property
+    def total_fault_time_s(self) -> float:
+        """Sum of window durations (overlaps counted multiply)."""
+        return sum(w.duration_s for w in self.windows)
+
+    @property
+    def horizon_s(self) -> float:
+        """When the last window clears (0 for an empty plan)."""
+        return max((w.end_s for w in self.windows), default=0.0)
+
+    def for_kind(self, kind: FaultKind) -> list[FaultWindow]:
+        return [w for w in self.windows if w.kind is kind]
+
+    @classmethod
+    def sample(
+        cls,
+        rng: np.random.Generator,
+        horizon_s: float,
+        intensity: float = 1.0,
+        targets: Optional[Mapping[FaultKind, Sequence[str]]] = None,
+        kinds: Optional[Sequence[FaultKind]] = None,
+        rate_per_min: float = 0.5,
+        mean_duration_s: float = 12.0,
+    ) -> "FaultPlan":
+        """Draw a Poisson plan from a seeded generator.
+
+        Per fault kind, the number of windows is Poisson with mean
+        ``rate_per_min / 60 * horizon_s * intensity``; starts are uniform
+        over the horizon and durations exponential with mean
+        ``mean_duration_s``.  Window severity scales with ``intensity``
+        (see the per-kind notes in ``_SEVERITY_NOTES``).  ``intensity = 0``
+        yields the empty plan without consuming any randomness, so a
+        zero-intensity chaos run replays the faultless seed exactly.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if intensity < 0:
+            raise ValueError("intensity must be non-negative")
+        if intensity == 0:
+            return cls()
+        chosen = tuple(kinds) if kinds is not None else tuple(FaultKind)
+        target_map = dict(targets or {})
+        windows: list[FaultWindow] = []
+        mean_count = rate_per_min / 60.0 * horizon_s * intensity
+        for kind in chosen:  # fixed kind order keeps the draw sequence stable
+            count = int(rng.poisson(mean_count))
+            names = list(target_map.get(kind, ("*",)))
+            for _ in range(count):
+                start = float(rng.uniform(0.0, horizon_s))
+                duration = max(1.0, float(rng.exponential(mean_duration_s)))
+                target = names[int(rng.integers(len(names)))]
+                windows.append(
+                    FaultWindow(
+                        kind=kind,
+                        start_s=start,
+                        duration_s=min(duration, horizon_s - start + 1.0),
+                        target=target,
+                        intensity=_window_intensity(kind, intensity),
+                    )
+                )
+        return cls(tuple(windows))

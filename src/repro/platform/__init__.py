@@ -16,7 +16,12 @@ from repro.platform.apps import (
     PERISCOPE_PROFILE,
 )
 from repro.platform.broadcasts import Broadcast, BroadcastState, Comment, Heart, ViewRecord
-from repro.platform.service import GlobalListPage, LivestreamService
+from repro.platform.service import (
+    GlobalListPage,
+    LivestreamService,
+    ServiceError,
+    ServiceUnavailable,
+)
 from repro.platform.users import User, UserRegistry
 from repro.platform.engagement import EngagementModel, ViewerSessionPlan
 
@@ -32,6 +37,8 @@ __all__ = [
     "ViewRecord",
     "LivestreamService",
     "GlobalListPage",
+    "ServiceError",
+    "ServiceUnavailable",
     "User",
     "UserRegistry",
     "EngagementModel",

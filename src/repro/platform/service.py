@@ -29,6 +29,16 @@ class ServiceError(Exception):
     """Raised on invalid API usage (joining a dead broadcast, etc.)."""
 
 
+class ServiceUnavailable(ServiceError):
+    """Transient 503-style failure: the service is browned out.
+
+    Raised (probabilistically, at the injected failure rate) while a
+    :class:`~repro.faults.injector.FaultInjector` marks the service browned
+    out.  Callers are expected to retry — this is the error class
+    :class:`~repro.faults.resilience.RetryPolicy` treats as retryable.
+    """
+
+
 @dataclass(frozen=True)
 class GlobalListPage:
     """One response from the global broadcast list API."""
@@ -50,10 +60,17 @@ class LivestreamService:
     global_list_size: int = 50
     users: UserRegistry = field(default_factory=UserRegistry)
     metrics: MetricsRegistry = field(default=NULL_REGISTRY, repr=False)
+    #: Resilience knob: during a brownout, answer global-list queries that
+    #: would otherwise fail with the last good (stale) snapshot instead of
+    #: raising :class:`ServiceUnavailable` — graceful degradation.
+    load_shedding: bool = False
     _broadcasts: dict[int, Broadcast] = field(default_factory=dict)
     _live_ids: list[int] = field(default_factory=list)
     _live_positions: dict[int, int] = field(default_factory=dict)
     _next_broadcast_id: int = 1
+    _fault_fail_rate: float = field(default=0.0, init=False, repr=False)
+    _fault_rng: Optional[np.random.Generator] = field(default=None, init=False, repr=False)
+    _stale_list: Optional[GlobalListPage] = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         obs = self.metrics
@@ -66,6 +83,46 @@ class LivestreamService:
         self._m_hearts = obs.counter("platform.hearts")
         self._m_lists = obs.counter("platform.global_list_queries")
         self._m_live = obs.gauge("platform.live_broadcasts", help="broadcasts currently live")
+        self._m_unavailable = obs.counter(
+            "platform.unavailable_errors", help="API calls failed by an injected brownout"
+        )
+        self._m_shed = obs.counter(
+            "platform.load_shed",
+            help="browned-out calls absorbed in degraded mode (stale or dropped)",
+        )
+
+    # -- fault surface (driven by repro.faults.FaultInjector) --------------
+
+    @property
+    def browned_out(self) -> bool:
+        """True while a fault injector marks the service browned out."""
+        return self._fault_fail_rate > 0.0
+
+    def set_brownout(self, fail_rate: float, rng: np.random.Generator) -> None:
+        """Mark the service browned out: each API call fails with probability
+        ``fail_rate`` (drawn from ``rng`` in event order, so runs stay
+        deterministic for a fixed seed)."""
+        if not 0.0 <= fail_rate <= 1.0:
+            raise ServiceError(f"fail_rate must be within [0, 1], got {fail_rate}")
+        self._fault_fail_rate = fail_rate
+        self._fault_rng = rng
+
+    def clear_brownout(self) -> None:
+        """End the brownout; subsequent API calls succeed normally."""
+        self._fault_fail_rate = 0.0
+
+    def _failing_now(self) -> bool:
+        """One brownout coin flip (no rng is consumed when healthy)."""
+        if self._fault_fail_rate <= 0.0:
+            return False
+        return bool(self._fault_rng.random() < self._fault_fail_rate)
+
+    def _shed(self) -> bool:
+        """Absorb one would-be brownout failure in degraded mode."""
+        if not self.load_shedding:
+            return False
+        self._m_shed.inc()
+        return True
 
     # -- broadcast lifecycle -------------------------------------------
 
@@ -136,6 +193,9 @@ class LivestreamService:
         HLS from the edge CDN.
         """
         self._m_api.inc()
+        if self._failing_now() and not self._shed():
+            self._m_unavailable.inc()
+            raise ServiceUnavailable("join failed: service browned out")
         broadcast = self.get_broadcast(broadcast_id)
         if not broadcast.is_live:
             raise ServiceError(f"broadcast {broadcast_id} has ended")
@@ -169,6 +229,11 @@ class LivestreamService:
     def comment(self, broadcast_id: int, viewer_id: int, time: float) -> bool:
         """Post a comment; returns False when rejected by the cap."""
         self._m_api.inc()
+        if self._failing_now():
+            if self._shed():
+                return False  # degraded mode: the comment is dropped, not errored
+            self._m_unavailable.inc()
+            raise ServiceUnavailable("comment failed: service browned out")
         broadcast = self.get_broadcast(broadcast_id)
         if not broadcast.is_live:
             raise ServiceError(f"broadcast {broadcast_id} has ended")
@@ -183,6 +248,11 @@ class LivestreamService:
     def heart(self, broadcast_id: int, viewer_id: int, time: float) -> None:
         """Send a heart — all viewers may heart, without limit."""
         self._m_api.inc()
+        if self._failing_now():
+            if self._shed():
+                return  # degraded mode: the heart is dropped, not errored
+            self._m_unavailable.inc()
+            raise ServiceUnavailable("heart failed: service browned out")
         broadcast = self.get_broadcast(broadcast_id)
         if not broadcast.is_live:
             raise ServiceError(f"broadcast {broadcast_id} has ended")
@@ -191,14 +261,31 @@ class LivestreamService:
 
     # -- discovery --------------------------------------------------------
 
-    def global_list(self, time: float, rng: np.random.Generator) -> GlobalListPage:
+    def global_list(
+        self, time: float, rng: np.random.Generator, allow_stale: bool = True
+    ) -> GlobalListPage:
         """The global list API: up to 50 random *public* active broadcasts.
 
         Private broadcasts never appear — the paper's crawl (and dataset)
         covers public broadcasts only.
+
+        ``allow_stale=False`` opts out of brown-out load shedding: callers
+        that can retry (the resilient crawler) prefer a retryable
+        :class:`ServiceUnavailable` over silently stale data, while plain
+        clients get the last good snapshot.
         """
         self._m_api.inc()
         self._m_lists.inc()
+        if self._failing_now():
+            if allow_stale and self.load_shedding and self._stale_list is not None:
+                # Brown-out load shedding: answer from the last good
+                # snapshot instead of erroring (stale but available).
+                self._m_shed.inc()
+                return GlobalListPage(
+                    time=time, broadcast_ids=self._stale_list.broadcast_ids
+                )
+            self._m_unavailable.inc()
+            raise ServiceUnavailable("global list failed: service browned out")
         live = [
             broadcast_id
             for broadcast_id in self._live_ids
@@ -209,7 +296,9 @@ class LivestreamService:
         else:
             indices = rng.choice(len(live), size=self.global_list_size, replace=False)
             chosen = tuple(live[i] for i in indices)
-        return GlobalListPage(time=time, broadcast_ids=chosen)
+        page = GlobalListPage(time=time, broadcast_ids=chosen)
+        self._stale_list = page  # refreshed on every success: shedding source
+        return page
 
     # -- viewer lifecycle ---------------------------------------------------
 

@@ -131,6 +131,43 @@ class TestLastMileLink:
         large = link.send(10.0, size_kb=100.0)
         assert (large - 10.0) - (small - 0.0) == pytest.approx(0.1)
 
+    def test_negative_size_rejected(self, rng):
+        link = LastMileLink(rng=rng, jitter_sigma=0.0)
+        with pytest.raises(ValueError):
+            link.send(0.0, size_kb=-1.0)
+        # The failed send must not corrupt FIFO state.
+        assert link.send(0.0) >= 0.0
+
+    def test_fifo_across_outage_straddling_back_to_back_sends(self, rng):
+        # One packet sent just before an outage window, one inside it: the
+        # second departs only when the outage lifts, and delivery order
+        # matches send order even though the first packet's delay would
+        # otherwise let the second overtake it.
+        link = LastMileLink(
+            rng=rng,
+            base_delay_s=5.0,
+            jitter_sigma=0.0,
+            outages=OutageSchedule([(10.0, 12.0)]),
+        )
+        before = link.send(9.9)   # departs 9.9, delivers 14.9
+        inside = link.send(10.0)  # held until 12.0, delivers 17.0
+        assert before == pytest.approx(14.9)
+        assert inside == pytest.approx(17.0)
+        assert before <= inside
+        # And with a long outage the earlier packet's delivery is the
+        # floor: FIFO forbids reordering after the flush.
+        flush_link = LastMileLink(
+            rng=rng,
+            base_delay_s=0.001,
+            jitter_sigma=0.0,
+            outages=OutageSchedule([(10.0, 20.0)]),
+        )
+        first = flush_link.send(9.999999)
+        second = flush_link.send(10.5)
+        third = flush_link.send(11.0)
+        assert first <= second <= third
+        assert second >= 20.0
+
     def test_stable_wifi_factory(self, rng):
         link = LastMileLink.stable_wifi(rng)
         assert link.outages.windows == []

@@ -174,6 +174,50 @@ class TestTokenBucket:
         with pytest.raises(ValueError):
             TokenBucket(rate_per_s=1.0, capacity=0.0)
 
+    def test_request_over_capacity_rejected(self):
+        bucket = TokenBucket(rate_per_s=1.0, capacity=3.0)
+        # Waiting can never satisfy this request, so it must raise rather
+        # than silently return False forever.
+        with pytest.raises(ValueError):
+            bucket.try_acquire(0.0, tokens=4.0)
+        with pytest.raises(ValueError):
+            bucket.time_until_available(0.0, tokens=4.0)
+
+    def test_time_until_available_now(self):
+        bucket = TokenBucket(rate_per_s=1.0, capacity=2.0)
+        assert bucket.time_until_available(0.0) == 0.0
+
+    def test_time_until_available_predicts_refill(self):
+        bucket = TokenBucket(rate_per_s=2.0, capacity=2.0)
+        assert bucket.try_acquire(0.0, tokens=2.0)
+        wait = bucket.time_until_available(0.0, tokens=1.0)
+        assert wait == pytest.approx(0.5)
+        # The prediction is honored: acquiring at now + wait succeeds.
+        assert not bucket.try_acquire(0.4)
+        assert bucket.try_acquire(0.4 + bucket.time_until_available(0.4))
+
+    def test_time_until_available_is_pure(self):
+        bucket = TokenBucket(rate_per_s=1.0, capacity=1.0)
+        bucket.try_acquire(0.0)
+        first = bucket.time_until_available(0.5)
+        assert first == bucket.time_until_available(0.5)
+        with pytest.raises(ValueError):
+            bucket.time_until_available(0.5, tokens=0.0)
+
+    def test_drain_empties_bucket(self):
+        bucket = TokenBucket(rate_per_s=1.0, capacity=4.0)
+        bucket.drain()
+        assert not bucket.try_acquire(0.0)
+        assert bucket.try_acquire(1.0)  # refills normally afterwards
+
+    def test_fault_refill_factor_slows_refill(self):
+        bucket = TokenBucket(rate_per_s=2.0, capacity=2.0)
+        bucket.try_acquire(0.0, tokens=2.0)
+        bucket.fault_refill_factor = 0.5
+        assert bucket.time_until_available(0.0) == pytest.approx(1.0)
+        assert not bucket.try_acquire(0.5)
+        assert bucket.try_acquire(1.0)
+
 
 class TestGlobalListCrawler:
     def test_captures_all_broadcasts_at_fast_refresh(self, simulator):
@@ -262,6 +306,34 @@ class TestGlobalListCrawler:
         crawler.start()
         with pytest.raises(RuntimeError):
             crawler.start()
+
+    def test_registry_counters_derived_from_accounts(self, simulator):
+        # crawler.queries / crawler.throttled in the registry are synced from
+        # the per-account fields at snapshot time — they cannot drift apart.
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        service = LivestreamService()
+        service.users.register_many(10)
+        service.start_broadcast(1, time=0.0)
+        bucket = TokenBucket(rate_per_s=0.5, capacity=1.0)
+        crawler = GlobalListCrawler(
+            service, simulator, np.random.default_rng(0),
+            n_accounts=6, account_refresh_s=1.0, rate_limit=bucket,
+            metrics=metrics,
+        )
+        crawler.start()
+        simulator.run(until=12.0)
+        counters = metrics.snapshot()["counters"]
+        made = sum(a.queries_made for a in crawler.accounts)
+        throttled = sum(a.queries_throttled for a in crawler.accounts)
+        assert made > 0 and throttled > 0
+        assert counters["crawler.queries"]["value"] == made
+        assert counters["crawler.throttled"]["value"] == throttled
+        # A second snapshot must not double-count (delta sync, not re-add).
+        counters2 = metrics.snapshot()["counters"]
+        assert counters2["crawler.queries"]["value"] == made
+        assert counters2["crawler.throttled"]["value"] == throttled
 
 
 class TestBroadcastMonitor:

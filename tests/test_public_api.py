@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.cdn",
     "repro.client",
     "repro.crawler",
+    "repro.faults",
     "repro.core",
     "repro.overlay",
     "repro.security",

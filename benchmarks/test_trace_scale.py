@@ -1,0 +1,134 @@
+"""Trace-generation scaling benchmark: serial vs sharded-parallel.
+
+Emits ``BENCH_trace.json`` at the repo root — broadcasts/sec for the
+shardable record-generation stage at several scales, serial
+(``workers=1``) vs parallel (4 workers) — to seed the perf trajectory
+toward the paper's 19.6M-broadcast volume.  The shared precompute
+(population pools + follow graph) is built once per scale and reported
+separately as ``context_seconds``; it is identical work for both modes.
+
+Modes:
+
+* default: scales 0.001 / 0.01 / 0.05 (several minutes);
+* ``BENCH_TRACE_SMOKE=1``: scale 0.001 only — the ``scripts/check.sh
+  bench`` gate, which mainly validates the emitted JSON schema.
+
+The recorded speedup is only meaningful relative to ``cpu_count`` (also
+recorded): on a single-core runner the parallel mode measures pure
+process-pool overhead; on a 4-core runner the record stage parallelizes
+near-linearly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.crawler.storage import dataset_to_bytes
+from repro.parallel import generate_dataset
+from repro.workload.trace import TraceConfig, build_trace_context
+
+BENCH_SCHEMA_VERSION = 1
+BENCH_WORKERS = 4
+FULL_SCALES = (0.001, 0.01, 0.05)
+SMOKE_SCALES = (0.001,)
+SEED = 2016
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def bench_output_path() -> Path:
+    return Path(os.environ.get("BENCH_TRACE_OUT", REPO_ROOT / "BENCH_trace.json"))
+
+
+REQUIRED_TOP_KEYS = {"benchmark", "schema_version", "cpu_count", "workers", "smoke", "results"}
+REQUIRED_RESULT_KEYS = {
+    "scale",
+    "broadcasts",
+    "context_seconds",
+    "serial_seconds",
+    "parallel_seconds",
+    "serial_broadcasts_per_sec",
+    "parallel_broadcasts_per_sec",
+    "speedup",
+}
+
+
+def validate_bench_payload(payload: dict) -> None:
+    """Schema check for BENCH_trace.json (used by ``check.sh bench``)."""
+    missing = REQUIRED_TOP_KEYS - payload.keys()
+    if missing:
+        raise ValueError(f"BENCH_trace.json missing keys: {sorted(missing)}")
+    if payload["benchmark"] != "trace_scale":
+        raise ValueError(f"unexpected benchmark id {payload['benchmark']!r}")
+    if not payload["results"]:
+        raise ValueError("BENCH_trace.json has no results")
+    for row in payload["results"]:
+        row_missing = REQUIRED_RESULT_KEYS - row.keys()
+        if row_missing:
+            raise ValueError(f"result row missing keys: {sorted(row_missing)}")
+        if row["broadcasts"] <= 0 or row["serial_seconds"] <= 0 or row["parallel_seconds"] <= 0:
+            raise ValueError(f"non-positive measurements in row {row}")
+
+
+def _measure(scale: float) -> dict:
+    serial_config = TraceConfig.periscope(scale=scale, seed=SEED, workers=1)
+    parallel_config = TraceConfig.periscope(scale=scale, seed=SEED, workers=BENCH_WORKERS)
+
+    started = time.perf_counter()
+    context, _graph = build_trace_context(serial_config)
+    context_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    serial = generate_dataset(serial_config, context)
+    serial_seconds = time.perf_counter() - started
+
+    # Same precompute is valid for the parallel config: the context only
+    # depends on generation inputs, never on the schedule knobs.
+    parallel_context = dataclasses.replace(context, config=parallel_config)
+    started = time.perf_counter()
+    parallel = generate_dataset(parallel_config, parallel_context)
+    parallel_seconds = time.perf_counter() - started
+
+    # The guarantee the speedup must not cost: identical output.
+    assert dataset_to_bytes(serial) == dataset_to_bytes(parallel)
+
+    return {
+        "scale": scale,
+        "broadcasts": len(serial),
+        "context_seconds": round(context_seconds, 3),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "serial_broadcasts_per_sec": round(len(serial) / serial_seconds, 1),
+        "parallel_broadcasts_per_sec": round(len(parallel) / parallel_seconds, 1),
+        "speedup": round(serial_seconds / parallel_seconds, 2),
+    }
+
+
+def test_trace_scale_benchmark():
+    smoke = bool(os.environ.get("BENCH_TRACE_SMOKE"))
+    scales = SMOKE_SCALES if smoke else FULL_SCALES
+
+    payload = {
+        "benchmark": "trace_scale",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "cpu_count": os.cpu_count() or 1,
+        "workers": BENCH_WORKERS,
+        "smoke": smoke,
+        "results": [_measure(scale) for scale in scales],
+    }
+    validate_bench_payload(payload)
+
+    out_path = bench_output_path()
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    for row in payload["results"]:
+        print(
+            f"scale {row['scale']:g}: {row['broadcasts']} broadcasts, "
+            f"serial {row['serial_broadcasts_per_sec']}/s, "
+            f"parallel {row['parallel_broadcasts_per_sec']}/s "
+            f"(speedup {row['speedup']}x on {payload['cpu_count']} core(s))"
+        )

@@ -2,10 +2,33 @@
 # Repo health check: byte-compile everything, run the tier-1 suite (tier2
 # chaos sweeps excluded — run them with `pytest -m tier2`), then smoke the
 # observability overhead budget.
-# Usage: scripts/check.sh [extra pytest args...]
+# Usage:
+#   scripts/check.sh [extra pytest args...]   # tier-1 gate
+#   scripts/check.sh bench                    # smoke the trace-scale
+#                                             # benchmark and validate the
+#                                             # emitted BENCH_trace.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "bench" ]]; then
+    out="$(mktemp /tmp/bench_trace.XXXXXX.json)"
+    trap 'rm -f "$out"' EXIT
+    BENCH_TRACE_SMOKE=1 BENCH_TRACE_OUT="$out" PYTHONPATH=src \
+        python -m pytest -x -q benchmarks/test_trace_scale.py
+    PYTHONPATH=src python - "$out" <<'EOF'
+import json, sys
+from benchmarks.test_trace_scale import validate_bench_payload
+payload = json.load(open(sys.argv[1]))
+validate_bench_payload(payload)
+row = payload["results"][0]
+print(f"bench ok: scale {row['scale']:g}, "
+      f"serial {row['serial_broadcasts_per_sec']}/s, "
+      f"parallel {row['parallel_broadcasts_per_sec']}/s "
+      f"({payload['cpu_count']} core(s))")
+EOF
+    exit 0
+fi
 
 python -m compileall -q src
 PYTHONPATH=src python -m pytest -x -q -m "not tier2" "$@"

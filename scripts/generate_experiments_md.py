@@ -212,6 +212,18 @@ Scaling notes:
   resolution and rescaled by its own factor.
 * At exact 3 s chunk granularity, HLS pre-buffers P=0 and P=3 s coincide
   (both need the first chunk before playback can start).
+
+Scaling knobs (see the README's "Scaling up the trace" section for a
+worked scale=0.01 example):
+* `--scale` / `TraceConfig(scale=...)` sets the fraction of Periscope's
+  measured volume; `shards=` and `workers=` parallelize generation across
+  processes with byte-identical output for every shards/workers choice;
+* `REPRO_TRACE_WORKERS` and `REPRO_TRACE_CACHE` apply the same knobs (plus
+  an on-disk dataset cache keyed by the generation config) to every
+  trace-backed experiment in this report;
+* `BENCH_trace.json` (from `benchmarks/test_trace_scale.py`, smoke-run by
+  `scripts/check.sh bench`) records broadcasts/sec serial vs parallel at
+  scales 0.001-0.05.
 """
 
 

@@ -18,7 +18,15 @@ class Cdf:
         if array.ndim != 1:
             raise ValueError("CDF needs a 1-D sample")
         if len(array) == 0:
-            raise ValueError("CDF needs a non-empty sample")
+            # Fail loudly at construction: every accessor (at/quantile/
+            # median/summary) is meaningless on an empty sample, and the
+            # raw numpy errors they would hit (ZeroDivisionError,
+            # IndexError) do not say what went wrong upstream.
+            raise ValueError(
+                "cannot build a CDF from an empty sample — upstream "
+                "produced zero observations (e.g. a fault sweep that "
+                "delivered no chunks)"
+            )
         self.values = np.sort(array)
 
     def __len__(self) -> int:

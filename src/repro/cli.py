@@ -40,7 +40,10 @@ def build_parser() -> argparse.ArgumentParser:
             "The special target 'metrics' runs a small instrumented "
             "scenario and prints the observability registry as JSON; "
             "'chaos' runs the fault-injection scenario in both naive and "
-            "resilient postures and prints the comparison."
+            "resilient postures and prints the comparison; 'trace' "
+            "generates a workload trace (optionally sharded across "
+            "--workers processes, reusing --cache-dir) and prints a "
+            "summary."
         ),
     )
     parser.add_argument("--list", action="store_true", help="list experiment IDs and exit")
@@ -57,6 +60,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--intensity", type=float, default=None,
         help="fault intensity for the 'chaos' target (default 1.0)",
+    )
+    parser.add_argument(
+        "--app", choices=("periscope", "meerkat"), default="periscope",
+        help="application profile for the 'trace' target (default periscope)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the 'trace' target (default 1)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="day-range shards for the 'trace' target (default auto)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="on-disk dataset cache for the 'trace' target (keyed by config hash)",
     )
     parser.add_argument(
         "--expect", action="store_true",
@@ -92,6 +111,50 @@ def _kwargs_for(experiment_id: str, args: argparse.Namespace) -> dict:
     elif experiment_id == "faultsweep" and args.seed is not None:
         kwargs["seed"] = args.seed
     return kwargs
+
+
+def _render_trace(args: argparse.Namespace) -> str:
+    """Generate a (possibly sharded) workload trace and format a summary."""
+    from repro.obs import MetricsRegistry
+    from repro.parallel import generate_trace
+    from repro.workload.trace import TraceConfig
+
+    factory = TraceConfig.meerkat if args.app == "meerkat" else TraceConfig.periscope
+    config = factory(
+        scale=args.scale if args.scale is not None else 0.0005,
+        seed=args.seed if args.seed is not None else 2016,
+        workers=args.workers if args.workers is not None else 1,
+        shards=args.shards if args.shards is not None else 0,
+    )
+    registry = MetricsRegistry()
+    started = time.perf_counter()
+    trace = generate_trace(config, cache_dir=args.cache_dir, registry=registry)
+    elapsed = time.perf_counter() - started
+
+    snapshot = registry.snapshot()
+    dataset = trace.dataset
+    cache_hit = snapshot["counters"].get("trace.cache_hits", {}).get("value", 0) > 0
+    lines = [
+        f"{config.app_name} trace — scale {config.scale:g}, seed {config.seed}, "
+        f"{config.growth.days} days",
+        f"broadcasts      {dataset.broadcast_count}",
+        f"broadcasters    {dataset.broadcaster_count}",
+        f"total views     {dataset.total_views}",
+        f"generated in    {elapsed:.1f}s"
+        + (f" ({dataset.broadcast_count / elapsed:.0f} broadcasts/s)" if elapsed > 0 else ""),
+    ]
+    if cache_hit:
+        lines.append(f"dataset cache   hit ({args.cache_dir}, key {config.cache_key()})")
+    elif args.cache_dir:
+        lines.append(f"dataset cache   miss -> stored ({args.cache_dir}, key {config.cache_key()})")
+    shard_stats = snapshot["histograms"].get("trace.shard_seconds")
+    if shard_stats and shard_stats["count"]:
+        workers = int(snapshot["gauges"]["trace.workers"]["value"])
+        lines.append(
+            f"shards          {shard_stats['count']} over {workers} worker(s): "
+            f"mean {shard_stats['mean']:.2f}s, max {shard_stats['max']:.2f}s"
+        )
+    return "\n".join(lines)
 
 
 def _render_chaos(seed: int, intensity: float) -> str:
@@ -172,6 +235,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sink.close()
         return 0
 
+    if "trace" in args.experiments:
+        if len(args.experiments) > 1 or args.all:
+            print(
+                "error: 'trace' generates a dataset and cannot be combined "
+                "with other experiments",
+                file=sys.stderr,
+            )
+            return 2
+        emit(_render_trace(args))
+        if sink is not None:
+            sink.close()
+        return 0
+
     if "chaos" in args.experiments:
         if len(args.experiments) > 1 or args.all:
             print(
@@ -200,7 +276,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     unknown = [t for t in targets if t not in known]
     if unknown:
         print(f"error: unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"known: {', '.join(list_experiments())} (plus the special targets 'metrics' and 'chaos')", file=sys.stderr)
+        print(f"known: {', '.join(list_experiments())} (plus the special targets 'metrics', 'chaos' and 'trace')", file=sys.stderr)
         return 2
 
     for index, experiment_id in enumerate(targets):

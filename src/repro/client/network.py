@@ -86,6 +86,10 @@ class OutageSchedule:
                 return end
         return time
 
+    def is_down(self, time: float) -> bool:
+        """Whether the link is inside an outage window at ``time``."""
+        return self.release_time(time) != time
+
     @property
     def total_outage_s(self) -> float:
         return sum(end - start for start, end in self.windows)

@@ -19,7 +19,15 @@ from repro.crawler.global_list import CrawlerAccount, GlobalListCrawler
 from repro.crawler.broadcast_monitor import BroadcastMonitor
 from repro.crawler.delay_crawler import ChunkObservation, DelayCrawler, FrameObservation
 from repro.crawler.graph_crawler import FollowGraphCrawler, GraphApi, GraphCrawl
-from repro.crawler.storage import load_dataset, load_traces, save_dataset, save_traces
+from repro.crawler.storage import (
+    DatasetCache,
+    dataset_from_bytes,
+    dataset_to_bytes,
+    load_dataset,
+    load_traces,
+    save_dataset,
+    save_traces,
+)
 
 __all__ = [
     "BroadcastDataset",
@@ -36,6 +44,9 @@ __all__ = [
     "GraphApi",
     "FollowGraphCrawler",
     "GraphCrawl",
+    "DatasetCache",
+    "dataset_to_bytes",
+    "dataset_from_bytes",
     "save_dataset",
     "load_dataset",
     "save_traces",

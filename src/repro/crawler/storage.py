@@ -4,14 +4,22 @@ The paper released parts of its measurement datasets; this module gives
 the reproduction the same capability: broadcast datasets round-trip
 through gzip-compressed JSONL (one record per line, metadata on the first
 line) and fine-grained delay traces through ``.npz`` bundles.
+
+Serialization is byte-deterministic (the gzip header's mtime is pinned to
+zero): the same dataset always produces the same bytes, which is what the
+sharded-generation determinism tests and the on-disk
+:class:`DatasetCache` rely on.
 """
 
 from __future__ import annotations
 
 import gzip
+import io
 import json
+import os
+import re
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -57,30 +65,37 @@ def _record_from_json(payload: dict) -> BroadcastRecord:
     )
 
 
-def save_dataset(dataset: BroadcastDataset, path: PathLike) -> None:
-    """Write a dataset as gzip JSONL: header line, then one record/line."""
+def dataset_to_bytes(dataset: BroadcastDataset) -> bytes:
+    """Serialize a dataset to deterministic gzip-JSONL bytes.
+
+    The gzip mtime is pinned to 0, so equal datasets always serialize to
+    equal bytes — the byte-identity guarantee the parallel-generation
+    tests assert.
+    """
     header = {
         "format_version": _FORMAT_VERSION,
         "app_name": dataset.app_name,
         "days": dataset.days,
         "record_count": len(dataset),
     }
-    with gzip.open(Path(path), "wt", encoding="utf-8") as handle:
-        handle.write(json.dumps(header) + "\n")
+    raw = io.BytesIO()
+    with gzip.GzipFile(filename="", mode="wb", fileobj=raw, mtime=0) as binary:
+        binary.write((json.dumps(header) + "\n").encode("utf-8"))
         for record in dataset:
-            handle.write(json.dumps(_record_to_json(record)) + "\n")
+            binary.write((json.dumps(_record_to_json(record)) + "\n").encode("utf-8"))
+    return raw.getvalue()
 
 
-def load_dataset(path: PathLike) -> BroadcastDataset:
-    """Read a dataset written by :func:`save_dataset`."""
-    with gzip.open(Path(path), "rt", encoding="utf-8") as handle:
+def dataset_from_bytes(data: bytes, source: str = "<bytes>") -> BroadcastDataset:
+    """Inverse of :func:`dataset_to_bytes`."""
+    with gzip.open(io.BytesIO(data), "rt", encoding="utf-8") as handle:
         header_line = handle.readline()
         if not header_line:
-            raise ValueError(f"{path}: empty dataset file")
+            raise ValueError(f"{source}: empty dataset file")
         header = json.loads(header_line)
         version = header.get("format_version")
         if version != _FORMAT_VERSION:
-            raise ValueError(f"{path}: unsupported format version {version}")
+            raise ValueError(f"{source}: unsupported format version {version}")
         dataset = BroadcastDataset(app_name=header["app_name"], days=header["days"])
         for line in handle:
             if line.strip():
@@ -88,9 +103,69 @@ def load_dataset(path: PathLike) -> BroadcastDataset:
     expected = header.get("record_count")
     if expected is not None and expected != len(dataset):
         raise ValueError(
-            f"{path}: truncated dataset ({len(dataset)} of {expected} records)"
+            f"{source}: truncated dataset ({len(dataset)} of {expected} records)"
         )
     return dataset
+
+
+def save_dataset(dataset: BroadcastDataset, path: PathLike) -> None:
+    """Write a dataset as gzip JSONL: header line, then one record/line."""
+    Path(path).write_bytes(dataset_to_bytes(dataset))
+
+
+def load_dataset(path: PathLike) -> BroadcastDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    return dataset_from_bytes(Path(path).read_bytes(), source=str(path))
+
+
+_CACHE_KEY_RE = re.compile(r"^[A-Za-z0-9._-]{1,100}$")
+
+
+class DatasetCache:
+    """A content-addressed on-disk cache of generated broadcast datasets.
+
+    Keys come from :meth:`repro.workload.trace.TraceConfig.cache_key` — a
+    hash of everything that determines the generated data (and nothing
+    that does not, like worker counts) — so figure experiments across
+    processes reuse one generation.  Writes are atomic (temp file +
+    ``os.replace``) so a crashed run never leaves a truncated entry that
+    a later run would trip over.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        if not _CACHE_KEY_RE.match(key):
+            raise ValueError(f"invalid cache key {key!r}")
+        return self.root / f"trace-{key}.jsonl.gz"
+
+    def get(self, key: str) -> Optional[BroadcastDataset]:
+        """The cached dataset for ``key``, or ``None`` on a miss.
+
+        A corrupt entry (truncated write from an older, non-atomic tool,
+        bad bytes) is treated as a miss and removed.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            return load_dataset(path)
+        except (ValueError, OSError, json.JSONDecodeError, KeyError):
+            path.unlink(missing_ok=True)
+            return None
+
+    def put(self, key: str, dataset: BroadcastDataset) -> Path:
+        """Store ``dataset`` under ``key``; returns the entry's path."""
+        path = self.path_for(key)
+        temp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        temp.write_bytes(dataset_to_bytes(dataset))
+        os.replace(temp, path)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
 
 
 def save_traces(traces: list[BroadcastTrace], path: PathLike) -> None:

@@ -8,10 +8,13 @@ what each experiment itself costs.
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
+from typing import Optional
 
 from repro.core.pipeline import BroadcastTrace, DelayMeasurementCampaign
-from repro.workload.trace import TraceConfig, TraceGenerator, WorkloadTrace
+from repro.parallel import generate_trace
+from repro.workload.trace import TraceConfig, WorkloadTrace
 
 #: Default scale for trace experiments: 1/2000 of Periscope's real volume
 #: (~10K broadcasts over 98 days) keeps every figure runnable in seconds.
@@ -23,11 +26,27 @@ DEFAULT_SEED = 2016
 DEFAULT_CAMPAIGN_BROADCASTS = 60
 
 
+def _trace_workers() -> int:
+    """Worker processes for trace generation (env ``REPRO_TRACE_WORKERS``).
+
+    Defaults to 1: experiment runs at the default scale are dominated by
+    analysis, and tests stay hermetic.  Larger-scale figure runs set this
+    (or use ``repro trace``) to fan generation out.
+    """
+    return max(1, int(os.environ.get("REPRO_TRACE_WORKERS", "1")))
+
+
+def _trace_cache_dir() -> Optional[str]:
+    """On-disk dataset cache directory (env ``REPRO_TRACE_CACHE``), if any."""
+    return os.environ.get("REPRO_TRACE_CACHE") or None
+
+
 @lru_cache(maxsize=4)
 def periscope_trace(
     scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED
 ) -> WorkloadTrace:
-    return TraceGenerator(TraceConfig.periscope(scale=scale, seed=seed)).generate()
+    config = TraceConfig.periscope(scale=scale, seed=seed, workers=_trace_workers())
+    return generate_trace(config, cache_dir=_trace_cache_dir())
 
 
 #: Meerkat's absolute volume is ~120x smaller than Periscope's; crawling it
@@ -40,7 +59,8 @@ MEERKAT_SCALE_BOOST = 20.0
 @lru_cache(maxsize=4)
 def meerkat_trace(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED) -> WorkloadTrace:
     boosted = min(1.0, scale * MEERKAT_SCALE_BOOST)
-    return TraceGenerator(TraceConfig.meerkat(scale=boosted, seed=seed)).generate()
+    config = TraceConfig.meerkat(scale=boosted, seed=seed, workers=_trace_workers())
+    return generate_trace(config, cache_dir=_trace_cache_dir())
 
 
 @lru_cache(maxsize=4)

@@ -1,0 +1,19 @@
+"""Sharded, multi-process trace generation (schedule-independent).
+
+Public API::
+
+    from repro.parallel import generate_trace, plan_shards
+
+    trace = generate_trace(TraceConfig.periscope(scale=0.01, workers=4))
+"""
+
+from repro.parallel.generate import generate_dataset, generate_trace
+from repro.parallel.sharding import AUTO_SHARDS_PER_WORKER, ShardSpec, plan_shards
+
+__all__ = [
+    "AUTO_SHARDS_PER_WORKER",
+    "ShardSpec",
+    "generate_dataset",
+    "generate_trace",
+    "plan_shards",
+]

@@ -1,0 +1,146 @@
+"""Sharded, multi-process workload-trace generation.
+
+The paper's Periscope dataset is 19.6M broadcasts / 705M views; a
+single-process generation loop is only practical around ``scale=0.001``,
+which hides scaling bugs and keeps every figure pipeline toy-sized.  This
+module fans generation out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* the day range is partitioned into deterministic shards
+  (:func:`repro.parallel.sharding.plan_shards`),
+* every day draws from its own seed-derived substream, so results are
+  schedule-independent — ``workers=1`` and ``workers=N`` produce
+  byte-identical datasets for the same config,
+* shard outputs are merged with a stable sort on
+  ``(start_time, broadcast_id)`` and globally re-keyed IDs
+  (:func:`repro.workload.trace.assemble_dataset`),
+* an optional on-disk cache (:class:`repro.crawler.storage.DatasetCache`,
+  keyed by :meth:`TraceConfig.cache_key`) lets figure experiments reuse
+  generated traces across processes.
+
+Shard timings and cache traffic are published through the
+:mod:`repro.obs` registry passed in (no-op by default).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs import NULL_REGISTRY
+from repro.parallel.sharding import ShardSpec, plan_shards
+from repro.workload.trace import (
+    BroadcastDataset,
+    BroadcastRecord,
+    ShardContext,
+    TraceConfig,
+    WorkloadTrace,
+    assemble_dataset,
+    build_trace_context,
+    generate_day_records,
+)
+
+#: Per-worker-process shard context (set by the pool initializer, or
+#: inherited from the parent on fork start methods).
+_WORKER_CONTEXT: Optional[ShardContext] = None
+
+
+def _init_worker(context: ShardContext) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_shard(
+    spec: ShardSpec, context: Optional[ShardContext] = None
+) -> tuple[int, list[list[BroadcastRecord]], float]:
+    """Generate one shard's day range; returns (shard_id, day lists, seconds)."""
+    ctx = context if context is not None else _WORKER_CONTEXT
+    if ctx is None:
+        raise RuntimeError("worker process has no shard context (initializer not run)")
+    started = time.perf_counter()
+    day_lists = [generate_day_records(ctx, day) for day in spec.days()]
+    return spec.shard_id, day_lists, time.perf_counter() - started
+
+
+def generate_dataset(
+    config: TraceConfig,
+    context: ShardContext,
+    registry=NULL_REGISTRY,
+) -> BroadcastDataset:
+    """Generate the broadcast dataset from a prebuilt context.
+
+    Honours ``config.shards`` / ``config.workers``; the output is
+    independent of both (test-enforced).
+    """
+    specs = plan_shards(config.growth.days, shards=config.shards, workers=config.workers)
+    workers = min(config.workers, len(specs))
+
+    registry.gauge("trace.workers", "worker processes used for generation").set(workers)
+    registry.gauge("trace.shards", "day-range shards generated").set(len(specs))
+    shard_seconds = registry.histogram(
+        "trace.shard_seconds", "wall seconds per generation shard"
+    )
+
+    results: dict[int, list[list[BroadcastRecord]]] = {}
+    if workers <= 1:
+        # In-process fallback: same shard walk, no executor.
+        for spec in specs:
+            shard_id, day_lists, seconds = _run_shard(spec, context)
+            results[shard_id] = day_lists
+            shard_seconds.observe(seconds)
+    else:
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(context,)
+        ) as pool:
+            for shard_id, day_lists, seconds in pool.map(_run_shard, specs):
+                results[shard_id] = day_lists
+                shard_seconds.observe(seconds)
+
+    ordered_days = [
+        day_records for shard_id in sorted(results) for day_records in results[shard_id]
+    ]
+    dataset = assemble_dataset(config, ordered_days)
+    registry.counter("trace.broadcasts", "broadcast records generated").inc(len(dataset))
+    return dataset
+
+
+def generate_trace(
+    config: TraceConfig,
+    cache_dir: Optional[Union[str, Path]] = None,
+    registry=NULL_REGISTRY,
+) -> WorkloadTrace:
+    """Generate (or load from cache) a full :class:`WorkloadTrace`.
+
+    The population pools and follow graph are deterministic precomputes
+    and are always rebuilt (they are needed by social analyses either
+    way); only the broadcast dataset — the expensive, shardable part —
+    goes through the on-disk cache.
+    """
+    context, graph = build_trace_context(config)
+
+    dataset: Optional[BroadcastDataset] = None
+    cache = None
+    if cache_dir is not None:
+        # Imported here: storage has no dependency on this module.
+        from repro.crawler.storage import DatasetCache
+
+        cache = DatasetCache(cache_dir)
+        dataset = cache.get(config.cache_key())
+        if dataset is not None:
+            registry.counter("trace.cache_hits", "dataset cache hits").inc()
+
+    if dataset is None:
+        if cache is not None:
+            registry.counter("trace.cache_misses", "dataset cache misses").inc()
+        dataset = generate_dataset(config, context, registry=registry)
+        if cache is not None:
+            cache.put(config.cache_key(), dataset)
+
+    return WorkloadTrace(
+        config=config,
+        dataset=dataset,
+        graph=graph,
+        broadcaster_ids=context.broadcaster_ids,
+        viewer_ids=context.viewer_ids,
+    )

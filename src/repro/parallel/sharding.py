@@ -1,0 +1,63 @@
+"""Deterministic partitioning of the measurement day range into shards.
+
+A shard is a contiguous ``[day_start, day_end)`` range of measurement
+days.  Because every day draws from its own named substream (see
+:mod:`repro.workload.trace`), shard boundaries are pure scheduling — any
+plan over the same day range yields the same merged dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Shards dispatched per worker when ``shards`` is auto (0): small enough
+#: to keep per-task overhead negligible, large enough that an unlucky
+#: slow shard (weekend peak days) does not stall the pool tail.
+AUTO_SHARDS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One generation work unit: a contiguous day range."""
+
+    shard_id: int
+    day_start: int
+    day_end: int  # exclusive
+
+    def __post_init__(self) -> None:
+        if self.day_start < 0 or self.day_end <= self.day_start:
+            raise ValueError(f"invalid shard range [{self.day_start}, {self.day_end})")
+
+    @property
+    def n_days(self) -> int:
+        return self.day_end - self.day_start
+
+    def days(self) -> range:
+        return range(self.day_start, self.day_end)
+
+
+def plan_shards(days: int, shards: int = 0, workers: int = 1) -> list[ShardSpec]:
+    """Partition ``range(days)`` into contiguous, near-equal shards.
+
+    ``shards = 0`` picks automatically: one shard for a single worker,
+    otherwise :data:`AUTO_SHARDS_PER_WORKER` per worker.  The shard count
+    is always clamped to ``days`` (a shard spans at least one day).
+    """
+    if days <= 0:
+        raise ValueError("days must be positive")
+    if shards < 0:
+        raise ValueError("shards must be >= 0 (0 = auto)")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if shards == 0:
+        shards = 1 if workers == 1 else workers * AUTO_SHARDS_PER_WORKER
+    shards = min(shards, days)
+
+    base, extra = divmod(days, shards)
+    specs: list[ShardSpec] = []
+    start = 0
+    for shard_id in range(shards):
+        length = base + (1 if shard_id < extra else 0)
+        specs.append(ShardSpec(shard_id=shard_id, day_start=start, day_end=start + length))
+        start += length
+    return specs

@@ -16,7 +16,15 @@ from repro.workload.growth import (
 from repro.workload.arrivals import daily_arrival_times, DIURNAL_WEIGHTS
 from repro.workload.broadcast_model import BroadcastParams, BroadcastParamsModel
 from repro.workload.viewers import ViewerArrivalModel
-from repro.workload.trace import TraceConfig, TraceGenerator, WorkloadTrace
+from repro.workload.trace import (
+    ShardContext,
+    TraceConfig,
+    TraceGenerator,
+    WorkloadTrace,
+    build_trace_context,
+    derived_notification_open_rate,
+    generate_day_records,
+)
 
 __all__ = [
     "GrowthModel",
@@ -28,7 +36,11 @@ __all__ = [
     "BroadcastParams",
     "BroadcastParamsModel",
     "ViewerArrivalModel",
+    "ShardContext",
     "TraceConfig",
     "TraceGenerator",
     "WorkloadTrace",
+    "build_trace_context",
+    "derived_notification_open_rate",
+    "generate_day_records",
 ]

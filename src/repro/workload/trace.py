@@ -12,23 +12,65 @@ constants scale by ``TraceConfig.scale`` (default 1/1000).  Audience-size
 *distributions* are kept unscaled — views per broadcast is an intrinsic
 quantity — except that the viral-audience cap is clamped to the scaled
 viewer population.
+
+Determinism & sharding: every measurement day draws from its own named
+substream (``trace/{app}/day/{day}``) derived from the root seed, so a
+day's broadcasts are a pure function of ``(config, day)``.  That makes the
+generated dataset independent of how days are grouped into shards and of
+how many workers generate them — :mod:`repro.parallel` exploits this to
+fan generation out over processes while guaranteeing byte-identical
+output for any ``shards``/``workers`` setting.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+import hashlib
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.crawler.dataset import SECONDS_PER_DAY, BroadcastDataset, BroadcastRecord
 from repro.simulation.distributions import zipf_weights
-from repro.simulation.randomness import RandomStreams
+from repro.simulation.randomness import RandomStreams, substream_seed
 from repro.social.generation import FollowGraphConfig, generate_follow_graph
 from repro.social.graph import FollowGraph
 from repro.workload.arrivals import daily_arrival_times
 from repro.workload.broadcast_model import BroadcastParamsModel
 from repro.workload.growth import GrowthModel, MEERKAT_GROWTH, PERISCOPE_GROWTH
+
+#: Bump when the generation algorithm changes in a way that alters output
+#: for a fixed config — it feeds the on-disk dataset cache key.
+TRACE_SCHEMA_VERSION = 2
+
+#: Realistic notification-open probability at full scale (~2% of a
+#: broadcaster's followers join from the push notification).
+FULL_SCALE_OPEN_RATE = 0.02
+
+#: Hand-calibrated correction at the smallest practical scale (1/1000):
+#: follower counts shrink with the population while organic audiences do
+#: not, so the rate is boosted to preserve the follower-driven share.
+SMALL_SCALE_OPEN_RATE_CAP = 0.10
+
+#: Exponent of the smooth interpolation between the two anchors above;
+#: chosen so the derived rate hits the cap exactly at scale = 0.001.
+_OPEN_RATE_ALPHA = math.log(SMALL_SCALE_OPEN_RATE_CAP / FULL_SCALE_OPEN_RATE) / math.log(1000)
+
+
+def derived_notification_open_rate(scale: float) -> float:
+    """Scale-aware default for :attr:`TraceConfig.notification_open_rate`.
+
+    Smoothly approaches the realistic :data:`FULL_SCALE_OPEN_RATE` as
+    ``scale`` approaches 1 and the hand-tuned small-scale boost below
+    ``scale = 0.001`` — previously the 0.10 correction was applied at
+    *every* scale, silently overcounting follower-driven views on large
+    runs.
+    """
+    if not 0 < scale <= 1:
+        raise ValueError("scale must be in (0, 1]")
+    return min(SMALL_SCALE_OPEN_RATE_CAP, FULL_SCALE_OPEN_RATE * scale**-_OPEN_RATE_ALPHA)
 
 
 @dataclass
@@ -51,19 +93,32 @@ class TraceConfig:
     viewer_zipf: float = 0.95
 
     #: Probability a notified follower joins (Figure 7 correlation).
-    #: At full scale ~2% is realistic; at reduced scale follower counts
-    #: shrink with the population while organic audiences do not, so the
-    #: default is raised to preserve the follower-driven share of the
-    #: audience.  Set to 0.02 when running near scale=1.
-    notification_open_rate: float = 0.10
+    #: ``None`` (the default) derives it from ``scale`` via
+    #: :func:`derived_notification_open_rate`; an explicit value is used
+    #: untouched.
+    notification_open_rate: Optional[float] = None
 
     #: Generate a follow graph (Periscope); Meerkat's graph was unavailable.
     with_social_graph: bool = True
     graph_mean_out_degree: float = 19.3
 
+    #: Number of day-range shards generation is dispatched in; 0 = auto
+    #: (one per worker batch).  Never affects the generated data.
+    shards: int = 0
+
+    #: Worker processes for generation; 1 = in-process. Never affects the
+    #: generated data.
+    workers: int = 1
+
     def __post_init__(self) -> None:
         if not 0 < self.scale <= 1:
             raise ValueError("scale must be in (0, 1]")
+        if self.notification_open_rate is not None and not 0 <= self.notification_open_rate <= 1:
+            raise ValueError("notification_open_rate must be within [0, 1]")
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0 (0 = auto)")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
 
     @property
     def total_users(self) -> int:
@@ -77,12 +132,44 @@ class TraceConfig:
     def viewer_pool(self) -> int:
         return max(50, int(self.viewer_pool_full * self.scale))
 
-    @classmethod
-    def periscope(cls, scale: float = 0.001, seed: int = 2016) -> "TraceConfig":
-        return cls(app_name="Periscope", scale=scale, seed=seed)
+    @property
+    def effective_notification_open_rate(self) -> float:
+        """The open rate actually used: explicit value, or scale-derived."""
+        if self.notification_open_rate is not None:
+            return self.notification_open_rate
+        return derived_notification_open_rate(self.scale)
+
+    def cache_key(self) -> str:
+        """Stable hash of everything that determines the generated dataset.
+
+        Deliberately excludes ``shards`` and ``workers`` — generation is
+        schedule-independent, so the same key must hit for any of them.
+        """
+        payload = {
+            "trace_schema": TRACE_SCHEMA_VERSION,
+            "app_name": self.app_name,
+            "scale": self.scale,
+            "seed": self.seed,
+            "growth": asdict(self.growth),
+            "params": asdict(self.params),
+            "total_users_full": self.total_users_full,
+            "broadcaster_pool_full": self.broadcaster_pool_full,
+            "viewer_pool_full": self.viewer_pool_full,
+            "broadcaster_zipf": self.broadcaster_zipf,
+            "viewer_zipf": self.viewer_zipf,
+            "notification_open_rate": self.effective_notification_open_rate,
+            "with_social_graph": self.with_social_graph,
+            "graph_mean_out_degree": self.graph_mean_out_degree,
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
 
     @classmethod
-    def meerkat(cls, scale: float = 0.001, seed: int = 2016) -> "TraceConfig":
+    def periscope(cls, scale: float = 0.001, seed: int = 2016, **kwargs) -> "TraceConfig":
+        return cls(app_name="Periscope", scale=scale, seed=seed, **kwargs)
+
+    @classmethod
+    def meerkat(cls, scale: float = 0.001, seed: int = 2016, **kwargs) -> "TraceConfig":
         """Meerkat at the same scale: 164K broadcasts over 35 days."""
         return cls(
             app_name="Meerkat",
@@ -94,6 +181,7 @@ class TraceConfig:
             broadcaster_pool_full=57_000,
             viewer_pool_full=183_000,
             with_social_graph=False,
+            **kwargs,
         )
 
 
@@ -112,129 +200,202 @@ class WorkloadTrace:
         return self.config.app_name
 
 
+@dataclass
+class ShardContext:
+    """Precomputed, picklable inputs shared by every generation shard.
+
+    Holds everything :func:`generate_day_records` needs — notably the
+    follower count per broadcaster-pool slot instead of the full graph,
+    so shipping a context to a worker process is a few small arrays, not
+    millions of edges.
+    """
+
+    config: TraceConfig
+    broadcaster_ids: np.ndarray
+    viewer_ids: np.ndarray
+    broadcaster_cdf: np.ndarray
+    viewer_cdf: np.ndarray
+    follower_counts: np.ndarray  # aligned with broadcaster_ids
+    audience_cap: int
+
+
+def build_trace_context(
+    config: TraceConfig,
+) -> tuple[ShardContext, Optional[FollowGraph]]:
+    """Deterministic per-run precompute: pools, activity CDFs, graph.
+
+    Draws only from the ``trace/{app}/pools`` and ``graph`` substreams, so
+    the context is identical no matter how generation is later scheduled.
+    """
+    streams = RandomStreams(config.seed)
+    rng = streams.get(f"trace/{config.app_name}/pools")
+
+    total_users = config.total_users
+    user_ids = np.arange(1, total_users + 1, dtype=np.int64)
+
+    # Broadcaster and viewer pools are (possibly overlapping) subsets
+    # of the user population.
+    broadcaster_ids = rng.choice(user_ids, size=config.broadcaster_pool, replace=False)
+    viewer_ids = rng.choice(user_ids, size=config.viewer_pool, replace=False)
+
+    graph: Optional[FollowGraph] = None
+    if config.with_social_graph:
+        graph_config = FollowGraphConfig(
+            n_nodes=total_users, mean_out_degree=config.graph_mean_out_degree
+        )
+        graph = generate_follow_graph(graph_config, streams.get("graph"))
+        follower_counts = np.fromiter(
+            (graph.follower_count(int(b)) for b in broadcaster_ids),
+            dtype=np.int64,
+            count=len(broadcaster_ids),
+        )
+    else:
+        follower_counts = np.zeros(len(broadcaster_ids), dtype=np.int64)
+
+    # Per-user activity skew: precompute CDFs for inverse sampling.
+    broadcaster_cdf = np.cumsum(zipf_weights(len(broadcaster_ids), config.broadcaster_zipf))
+    viewer_cdf = np.cumsum(zipf_weights(len(viewer_ids), config.viewer_zipf))
+
+    context = ShardContext(
+        config=config,
+        broadcaster_ids=broadcaster_ids,
+        viewer_ids=viewer_ids,
+        broadcaster_cdf=broadcaster_cdf,
+        viewer_cdf=viewer_cdf,
+        follower_counts=follower_counts,
+        audience_cap=min(config.params.audience_cap, int(0.8 * len(viewer_ids))),
+    )
+    return context, graph
+
+
+def day_substream_seed(config: TraceConfig, day: int) -> int:
+    """Seed of measurement day ``day``'s private random substream."""
+    return substream_seed(config.seed, f"trace/{config.app_name}/day/{day}")
+
+
+def generate_day_records(context: ShardContext, day: int) -> list[BroadcastRecord]:
+    """All broadcasts starting on measurement day ``day``.
+
+    A pure function of ``(context.config, day)``: the day draws from its
+    own substream, so the result does not depend on which shard or worker
+    runs it.  Broadcast IDs are day-local (1-based) placeholders;
+    :func:`assemble_dataset` re-keys them globally.
+    """
+    config = context.config
+    rng = np.random.default_rng(day_substream_seed(config, day))
+    expected = config.growth.broadcasts_on(day) * config.scale
+    offsets = daily_arrival_times(rng, expected)
+    records: list[BroadcastRecord] = []
+    for local_id, offset in enumerate(offsets, start=1):
+        records.append(
+            _sample_record(
+                context,
+                rng=rng,
+                broadcast_id=local_id,
+                start_time=day * SECONDS_PER_DAY + float(offset),
+            )
+        )
+    return records
+
+
+def assemble_dataset(
+    config: TraceConfig, day_record_lists: Iterable[Sequence[BroadcastRecord]]
+) -> BroadcastDataset:
+    """Merge per-day record lists (in day order) into the final dataset.
+
+    Applies a stable sort on ``(start_time, provisional broadcast_id)``
+    and re-keys IDs globally ``1..N`` so the merged dataset is identical
+    for every sharding/worker schedule.
+    """
+    merged: list[BroadcastRecord] = []
+    for day_records in day_record_lists:
+        merged.extend(day_records)
+    # Day lists are concatenated in day order and are sorted within each
+    # day, so this is a deterministic no-op re-ordering in practice; it is
+    # kept as the explicit merge guarantee.
+    merged.sort(key=lambda record: (record.start_time, record.broadcast_id))
+    dataset = BroadcastDataset(app_name=config.app_name, days=config.growth.days)
+    for global_id, record in enumerate(merged, start=1):
+        record.broadcast_id = global_id
+        dataset.add(record)
+    return dataset
+
+
+def _sample_record(
+    context: ShardContext,
+    rng: np.random.Generator,
+    broadcast_id: int,
+    start_time: float,
+) -> BroadcastRecord:
+    config = context.config
+    params_model = config.params
+
+    rank = int(np.searchsorted(context.broadcaster_cdf, rng.random()))
+    broadcaster = int(context.broadcaster_ids[rank])
+
+    duration = params_model.sample_duration(rng)
+    organic = params_model.sample_audience(rng)
+    organic = min(organic, context.audience_cap)
+
+    # Follower notifications add audience on top of organic discovery
+    # (Figure 7: followers vs viewers correlation).
+    followers = int(context.follower_counts[rank])
+    notified_joins = (
+        int(rng.binomial(followers, config.effective_notification_open_rate))
+        if followers
+        else 0
+    )
+    audience = min(organic + notified_joins, context.audience_cap)
+
+    excitement = float(rng.lognormal(mean=0.0, sigma=0.6))
+    web_views = int(rng.binomial(audience, params_model.web_view_fraction)) if audience else 0
+    mobile_views = audience - web_views
+    hearts, comments, commenters = params_model.sample_engagement(
+        audience, mobile_views, excitement, rng
+    )
+
+    # Assign mobile views to registered viewers (Zipf-skewed activity).
+    if mobile_views:
+        ranks = np.searchsorted(context.viewer_cdf, rng.random(mobile_views))
+        mobile_ids = context.viewer_ids[ranks]
+    else:
+        mobile_ids = np.empty(0, dtype=np.int64)
+
+    return BroadcastRecord(
+        broadcast_id=broadcast_id,
+        broadcaster_id=broadcaster,
+        app_name=config.app_name,
+        start_time=start_time,
+        duration_s=duration,
+        viewer_ids=mobile_ids,
+        web_views=web_views,
+        heart_count=hearts,
+        comment_count=comments,
+        commenter_count=commenters,
+        # The crawl only ever sees public broadcasts (private ones are
+        # absent from the global list), so the growth curves — which
+        # are calibrated to the paper's *observed* volumes — already
+        # describe public broadcasts only.
+        is_private=False,
+        broadcaster_followers=followers,
+    )
+
+
 class TraceGenerator:
-    """Generates a :class:`WorkloadTrace` for one application."""
+    """Generates a :class:`WorkloadTrace` for one application.
+
+    ``generate()`` honours ``config.workers``/``config.shards`` by
+    delegating to :func:`repro.parallel.generate_trace`; with the defaults
+    it runs fully in-process.  Either way the output is byte-identical for
+    a fixed ``(config, seed)``.
+    """
 
     def __init__(self, config: TraceConfig) -> None:
         self.config = config
         self.streams = RandomStreams(config.seed)
 
     def generate(self) -> WorkloadTrace:
-        config = self.config
-        rng = self.streams.get(f"trace/{config.app_name}")
+        # Imported here: repro.parallel builds on this module.
+        from repro.parallel import generate_trace
 
-        total_users = config.total_users
-        user_ids = np.arange(1, total_users + 1, dtype=np.int64)
-
-        # Broadcaster and viewer pools are (possibly overlapping) subsets
-        # of the user population.
-        broadcaster_ids = rng.choice(user_ids, size=config.broadcaster_pool, replace=False)
-        viewer_ids = rng.choice(user_ids, size=config.viewer_pool, replace=False)
-
-        graph = self._build_graph(total_users) if config.with_social_graph else None
-
-        # Per-user activity skew: precompute CDFs for inverse sampling.
-        broadcaster_cdf = np.cumsum(
-            zipf_weights(len(broadcaster_ids), config.broadcaster_zipf)
-        )
-        viewer_cdf = np.cumsum(zipf_weights(len(viewer_ids), config.viewer_zipf))
-
-        dataset = BroadcastDataset(app_name=config.app_name, days=config.growth.days)
-        audience_cap = min(config.params.audience_cap, int(0.8 * len(viewer_ids)))
-        broadcast_id = 1
-        for day in range(config.growth.days):
-            expected = config.growth.broadcasts_on(day) * config.scale
-            offsets = daily_arrival_times(rng, expected)
-            for offset in offsets:
-                record = self._make_record(
-                    broadcast_id=broadcast_id,
-                    start_time=day * SECONDS_PER_DAY + float(offset),
-                    rng=rng,
-                    graph=graph,
-                    broadcaster_ids=broadcaster_ids,
-                    broadcaster_cdf=broadcaster_cdf,
-                    viewer_ids=viewer_ids,
-                    viewer_cdf=viewer_cdf,
-                    audience_cap=audience_cap,
-                )
-                dataset.add(record)
-                broadcast_id += 1
-        return WorkloadTrace(
-            config=config,
-            dataset=dataset,
-            graph=graph,
-            broadcaster_ids=broadcaster_ids,
-            viewer_ids=viewer_ids,
-        )
-
-    # -- internals ----------------------------------------------------
-
-    def _build_graph(self, total_users: int) -> FollowGraph:
-        graph_config = FollowGraphConfig(
-            n_nodes=total_users,
-            mean_out_degree=self.config.graph_mean_out_degree,
-        )
-        return generate_follow_graph(graph_config, self.streams.get("graph"))
-
-    def _make_record(
-        self,
-        broadcast_id: int,
-        start_time: float,
-        rng: np.random.Generator,
-        graph: Optional[FollowGraph],
-        broadcaster_ids: np.ndarray,
-        broadcaster_cdf: np.ndarray,
-        viewer_ids: np.ndarray,
-        viewer_cdf: np.ndarray,
-        audience_cap: int,
-    ) -> BroadcastRecord:
-        config = self.config
-        params_model = config.params
-
-        rank = int(np.searchsorted(broadcaster_cdf, rng.random()))
-        broadcaster = int(broadcaster_ids[rank])
-
-        duration = params_model.sample_duration(rng)
-        organic = params_model.sample_audience(rng)
-        organic = min(organic, audience_cap)
-
-        # Follower notifications add audience on top of organic discovery
-        # (Figure 7: followers vs viewers correlation).
-        followers = graph.follower_count(broadcaster) if graph is not None else 0
-        notified_joins = (
-            int(rng.binomial(followers, config.notification_open_rate)) if followers else 0
-        )
-        audience = min(organic + notified_joins, audience_cap)
-
-        excitement = float(rng.lognormal(mean=0.0, sigma=0.6))
-        web_views = int(rng.binomial(audience, params_model.web_view_fraction)) if audience else 0
-        mobile_views = audience - web_views
-        hearts, comments, commenters = params_model.sample_engagement(
-            audience, mobile_views, excitement, rng
-        )
-
-        # Assign mobile views to registered viewers (Zipf-skewed activity).
-        if mobile_views:
-            ranks = np.searchsorted(viewer_cdf, rng.random(mobile_views))
-            mobile_ids = viewer_ids[ranks]
-        else:
-            mobile_ids = np.empty(0, dtype=np.int64)
-
-        return BroadcastRecord(
-            broadcast_id=broadcast_id,
-            broadcaster_id=broadcaster,
-            app_name=config.app_name,
-            start_time=start_time,
-            duration_s=duration,
-            viewer_ids=mobile_ids,
-            web_views=web_views,
-            heart_count=hearts,
-            comment_count=comments,
-            commenter_count=commenters,
-            # The crawl only ever sees public broadcasts (private ones are
-            # absent from the global list), so the growth curves — which
-            # are calibrated to the paper's *observed* volumes — already
-            # describe public broadcasts only.
-            is_private=False,
-            broadcaster_followers=followers,
-        )
+        return generate_trace(self.config)

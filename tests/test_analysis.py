@@ -75,6 +75,15 @@ class TestCdf:
         with pytest.raises(ValueError):
             Cdf(np.array([]))
 
+    def test_empty_fails_loudly_with_diagnosis(self):
+        # A fault sweep delivering zero chunks must fail with a message
+        # naming the problem, not a cryptic ZeroDivisionError/IndexError
+        # from deep inside an accessor.
+        with pytest.raises(ValueError, match="empty sample"):
+            Cdf(np.array([]))
+        with pytest.raises(ValueError, match="zero observations"):
+            Cdf([])
+
     def test_bad_quantile_rejected(self):
         with pytest.raises(ValueError):
             Cdf(np.array([1.0])).quantile(1.5)

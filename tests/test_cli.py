@@ -68,3 +68,26 @@ class TestCli:
         assert main(["fig14", "--out", str(target)]) == 0
         capsys.readouterr()
         assert "Figure 14" in target.read_text()
+
+
+class TestTraceTarget:
+    def test_trace_generates_and_summarizes(self, capsys):
+        assert main(["trace", "--scale", "0.0001", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Periscope trace" in out
+        assert "broadcasts" in out
+
+    def test_trace_with_cache_reports_miss_then_hit(self, tmp_path, capsys):
+        args = ["trace", "--scale", "0.0001", "--seed", "4", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        assert "miss" in capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        assert "hit" in capsys.readouterr().out
+
+    def test_trace_meerkat_app(self, capsys):
+        assert main(["trace", "--app", "meerkat", "--scale", "0.001", "--seed", "4"]) == 0
+        assert "Meerkat trace" in capsys.readouterr().out
+
+    def test_trace_cannot_combine_with_experiments(self, capsys):
+        assert main(["trace", "fig14"]) == 2
+        assert "cannot be combined" in capsys.readouterr().err

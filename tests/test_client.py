@@ -85,6 +85,36 @@ class TestOutageSchedule:
         assert schedule._starts == [1.0, 4.0]
         assert schedule.release_time(4.5) == 6.0
 
+    def test_is_down(self):
+        schedule = OutageSchedule([(1.0, 2.0), (4.0, 6.0)])
+        assert not schedule.is_down(0.5)
+        assert schedule.is_down(1.0)
+        assert schedule.is_down(5.9)
+        assert not schedule.is_down(2.0)  # end is exclusive
+        assert not schedule.is_down(7.0)
+
+    def test_many_outage_schedule_matches_naive_scan(self):
+        # Regression for the O(n)-per-call lookup: the bisect path must
+        # agree with a naive linear scan over a dense outage schedule.
+        rng = np.random.default_rng(42)
+        schedule = OutageSchedule.sample(
+            rng, horizon_s=100_000.0, rate_per_s=0.02, mean_duration_s=5.0
+        )
+        assert len(schedule.windows) > 1000  # genuinely "many" windows
+
+        def naive_release_time(time: float) -> float:
+            for start, end in schedule.windows:
+                if start <= time < end:
+                    return end
+            return time
+
+        probes = rng.random(500) * 100_000.0
+        boundaries = [w[0] for w in schedule.windows[:50]] + [
+            w[1] for w in schedule.windows[:50]
+        ]
+        for time in list(probes) + boundaries:
+            assert schedule.release_time(float(time)) == naive_release_time(float(time))
+
 
 class TestLastMileLink:
     def test_delivery_after_send(self, rng):

@@ -9,7 +9,15 @@ import numpy as np
 import pytest
 
 from repro.core.pipeline import DelayMeasurementCampaign
-from repro.crawler.storage import load_dataset, load_traces, save_dataset, save_traces
+from repro.crawler.storage import (
+    DatasetCache,
+    dataset_from_bytes,
+    dataset_to_bytes,
+    load_dataset,
+    load_traces,
+    save_dataset,
+    save_traces,
+)
 from repro.workload.trace import TraceConfig, TraceGenerator
 
 
@@ -74,6 +82,59 @@ class TestDatasetStorage:
             handle.write("")
         with pytest.raises(ValueError, match="empty"):
             load_dataset(path)
+
+
+class TestDeterministicBytes:
+    def test_serialization_is_byte_deterministic(self, small_dataset):
+        assert dataset_to_bytes(small_dataset) == dataset_to_bytes(small_dataset)
+
+    def test_saved_files_are_byte_identical(self, small_dataset, tmp_path):
+        a, b = tmp_path / "a.jsonl.gz", tmp_path / "b.jsonl.gz"
+        save_dataset(small_dataset, a)
+        save_dataset(small_dataset, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_bytes_round_trip(self, small_dataset):
+        restored = dataset_from_bytes(dataset_to_bytes(small_dataset))
+        assert restored.table1_row() == small_dataset.table1_row()
+        assert np.array_equal(
+            restored.records[0].viewer_ids, small_dataset.records[0].viewer_ids
+        )
+
+
+class TestDatasetCache:
+    def test_miss_then_hit(self, small_dataset, tmp_path):
+        cache = DatasetCache(tmp_path / "cache")
+        assert cache.get("abc123") is None
+        cache.put("abc123", small_dataset)
+        assert "abc123" in cache
+        cached = cache.get("abc123")
+        assert cached is not None
+        assert cached.table1_row() == small_dataset.table1_row()
+
+    def test_distinct_keys_are_independent(self, small_dataset, tmp_path):
+        cache = DatasetCache(tmp_path)
+        cache.put("key-a", small_dataset)
+        assert cache.get("key-b") is None
+
+    def test_corrupt_entry_treated_as_miss_and_removed(self, small_dataset, tmp_path):
+        cache = DatasetCache(tmp_path)
+        cache.put("key", small_dataset)
+        cache.path_for("key").write_bytes(b"not gzip at all")
+        assert cache.get("key") is None
+        assert not cache.path_for("key").exists()
+
+    def test_invalid_key_rejected(self, tmp_path):
+        cache = DatasetCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.path_for("../escape")
+        with pytest.raises(ValueError):
+            cache.path_for("")
+
+    def test_creates_missing_root(self, small_dataset, tmp_path):
+        cache = DatasetCache(tmp_path / "deep" / "nested")
+        cache.put("k", small_dataset)
+        assert cache.get("k") is not None
 
 
 class TestTraceStorage:

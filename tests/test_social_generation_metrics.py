@@ -119,6 +119,64 @@ class TestMetrics:
         assert TABLE2_REFERENCE["Twitter"]["assortativity"] < 0
 
 
+class TestSampledAssortativity:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return generate_follow_graph(
+            FollowGraphConfig(n_nodes=800), np.random.default_rng(31)
+        )
+
+    def test_full_source_sample_equals_exact(self, graph, rng):
+        # Sampling every source node covers every edge, so the estimator
+        # must reproduce the exact correlation (edge order is irrelevant
+        # to Pearson r).
+        exact = degree_assortativity(graph)
+        sampled = degree_assortativity(
+            graph, rng, max_exact_nodes=0, source_sample=graph.node_count
+        )
+        assert sampled == pytest.approx(exact, abs=1e-9)
+
+    def test_partial_sample_close_to_exact(self, graph):
+        exact = degree_assortativity(graph)
+        sampled = degree_assortativity(
+            graph,
+            np.random.default_rng(5),
+            max_exact_nodes=0,
+            source_sample=400,
+        )
+        assert sampled == pytest.approx(exact, abs=0.1)
+
+    def test_sampling_is_deterministic_for_a_seed(self, graph):
+        a = degree_assortativity(
+            graph, np.random.default_rng(12), max_exact_nodes=0, source_sample=200
+        )
+        b = degree_assortativity(
+            graph, np.random.default_rng(12), max_exact_nodes=0, source_sample=200
+        )
+        assert a == b
+
+    def test_small_graph_stays_exact_even_with_rng(self, graph, rng):
+        # Below the node threshold the rng must not be consulted.
+        before = rng.bit_generator.state
+        value = degree_assortativity(graph, rng)
+        assert rng.bit_generator.state == before
+        assert value == degree_assortativity(graph)
+
+
+class TestClusteringHubGuard:
+    def test_huge_hub_neighbors_are_skipped(self, monkeypatch):
+        # The guard used to be a no-op `continue` at the end of the loop
+        # body; with a cutoff of 0 every neighbor counts as a hub and the
+        # coefficient must collapse to zero.
+        from repro.social import metrics as social_metrics
+
+        edges = [(1, 2), (2, 3), (3, 1)]  # a triangle: clustering 1.0
+        graph = FollowGraph.from_edges(edges)
+        assert local_clustering(graph, 1) == 1.0
+        monkeypatch.setattr(social_metrics, "CLUSTERING_HUB_CUTOFF", 0)
+        assert local_clustering(graph, 1) == 0.0
+
+
 class TestNotifications:
     def test_notifies_all_followers(self, small_graph):
         service = NotificationService(graph=small_graph)

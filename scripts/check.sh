@@ -1,15 +1,23 @@
 #!/usr/bin/env bash
-# Repo health check: byte-compile everything, run the tier-1 suite (tier2
-# chaos sweeps excluded — run them with `pytest -m tier2`), then smoke the
-# observability overhead budget.
+# Repo health check: byte-compile everything, run the determinism linter,
+# run the tier-1 suite (tier2 chaos sweeps excluded — run them with
+# `pytest -m tier2`), then smoke the observability overhead budget.
 # Usage:
 #   scripts/check.sh [extra pytest args...]   # tier-1 gate
+#   scripts/check.sh lint                     # determinism linter only
+#                                             # (rule catalog: LINTING.md)
 #   scripts/check.sh bench                    # smoke the trace-scale
 #                                             # benchmark and validate the
 #                                             # emitted BENCH_trace.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "lint" ]]; then
+    shift
+    PYTHONPATH=src python -m repro lint src benchmarks "$@"
+    exit 0
+fi
 
 if [[ "${1:-}" == "bench" ]]; then
     out="$(mktemp /tmp/bench_trace.XXXXXX.json)"
@@ -31,6 +39,7 @@ EOF
 fi
 
 python -m compileall -q src
+PYTHONPATH=src python -m repro lint src benchmarks
 PYTHONPATH=src python -m pytest -x -q -m "not tier2" "$@"
 OBS_OVERHEAD_SMOKE=1 PYTHONPATH=src python -m pytest -x -q \
     benchmarks/test_obs_overhead.py::test_null_registry_overhead_within_budget

@@ -224,6 +224,13 @@ worked scale=0.01 example):
 * `BENCH_trace.json` (from `benchmarks/test_trace_scale.py`, smoke-run by
   `scripts/check.sh bench`) records broadcasts/sec serial vs parallel at
   scales 0.001-0.05.
+
+Determinism: every run in this report is **sanitizer-clean** — the trace
+generation and simulations it regenerates pass under
+`repro.lint.DeterminismSanitizer` (`repro trace --sanitize`), which makes
+any global-RNG or wall-clock read inside the run raise. See LINTING.md;
+`tests/test_lint_sanitizer.py` additionally proves a sanitized run's
+dataset is byte-identical to an unsanitized one at the same seed.
 """
 
 

@@ -12,6 +12,7 @@ distinct glyph with a legend underneath.
 
 from __future__ import annotations
 
+import math
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -186,7 +187,7 @@ def ascii_stacked_bars(
     glyph_of = {
         component: GLYPHS[i % len(GLYPHS)] for i, component in enumerate(components)
     }
-    total_max = max(sum(parts.values()) for parts in bars.values())
+    total_max = max(math.fsum(parts.values()) for parts in bars.values())
     if total_max <= 0:
         raise ValueError("bars must have positive totals")
 
@@ -199,7 +200,7 @@ def ascii_stacked_bars(
         for component, value in parts.items():
             cells = int(round(value / total_max * width))
             bar += glyph_of[component] * cells
-        total = sum(parts.values())
+        total = math.fsum(parts.values())
         lines.append(f"{name:>{name_width}} |{bar:<{width}}| {total:.2f}s")
     scale = " " * (name_width + 2) + "0" + " " * (width - len(_format_tick(total_max)) - 1) + _format_tick(total_max)
     lines.append(scale)

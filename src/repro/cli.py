@@ -6,6 +6,7 @@ Usage::
     python -m repro fig11
     python -m repro table1 --scale 0.001 --seed 7
     python -m repro --all
+    python -m repro lint src benchmarks   # determinism linter (see LINTING.md)
 """
 
 from __future__ import annotations
@@ -43,7 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
             "resilient postures and prints the comparison; 'trace' "
             "generates a workload trace (optionally sharded across "
             "--workers processes, reusing --cache-dir) and prints a "
-            "summary."
+            "summary; 'lint' runs the determinism linter (its own flags — "
+            "see 'repro lint --help')."
         ),
     )
     parser.add_argument("--list", action="store_true", help="list experiment IDs and exit")
@@ -76,6 +78,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-dir", type=str, default=None, metavar="DIR",
         help="on-disk dataset cache for the 'trace' target (keyed by config hash)",
+    )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help=(
+            "arm the runtime determinism sanitizer for the 'chaos' and "
+            "'trace' targets: wall-clock/global-RNG reads from simulation "
+            "code raise, and multi-process runs require a pinned "
+            "PYTHONHASHSEED"
+        ),
     )
     parser.add_argument(
         "--expect", action="store_true",
@@ -193,9 +204,33 @@ def _render_chaos(seed: int, intensity: float) -> str:
     return "\n".join(lines)
 
 
+def _sanitizer_guard(args: argparse.Namespace, workers: int = 1):
+    """The runtime determinism sanitizer when ``--sanitize``, else a no-op.
+
+    The sanitizer only observes — a clean run's output is byte-identical
+    with it on or off (test-enforced) — so arming it never changes results,
+    it only converts hidden wall-clock/global-RNG reads into hard errors.
+    """
+    if not args.sanitize:
+        from contextlib import nullcontext
+
+        return nullcontext()
+    from repro.lint.sanitizer import DeterminismSanitizer
+
+    return DeterminismSanitizer(workers=workers)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    if arguments and arguments[0] == "lint":
+        # The linter owns its flags (--json, --list-rules); hand the rest
+        # of the command line over before the experiment parser sees it.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(arguments[1:])
+
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
 
     sink = open(args.out, "a", encoding="utf-8") if args.out else None
 
@@ -243,7 +278,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        emit(_render_trace(args))
+        with _sanitizer_guard(args, workers=args.workers if args.workers is not None else 1):
+            summary = _render_trace(args)
+        emit(summary)
         if sink is not None:
             sink.close()
         return 0
@@ -256,12 +293,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        emit(
-            _render_chaos(
+        with _sanitizer_guard(args):
+            comparison = _render_chaos(
                 seed=args.seed if args.seed is not None else 7,
                 intensity=args.intensity if args.intensity is not None else 1.0,
             )
-        )
+        emit(comparison)
         if sink is not None:
             sink.close()
         return 0

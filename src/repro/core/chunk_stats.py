@@ -72,7 +72,7 @@ def chunk_duration_distribution(
         duration = infer_chunk_duration(trace, quantize_s)
         if duration is not None:
             counts[duration] += 1
-    total = sum(counts.values())
+    total = sum(counts.values())  # repro: allow[fsum-required] Counter values are ints — exact
     if total == 0:
         raise ValueError("no classifiable broadcasts")
     return {duration: count / total for duration, count in sorted(counts.items())}

@@ -18,6 +18,7 @@ averaged.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -50,7 +51,7 @@ class DelayBreakdown:
 
     @property
     def total_s(self) -> float:
-        return float(sum(self.components.values()))
+        return math.fsum(self.components.values())
 
     def as_row(self) -> dict[str, float]:
         row = {name: round(value, 3) for name, value in self.components.items()}

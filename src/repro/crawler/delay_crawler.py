@@ -118,6 +118,8 @@ class DelayCrawler:
         record = wowza.record_for(self.broadcast_id)
         availability = self._edge.availability_map(self.broadcast_id)
         observations = []
+        # The sorted() is load-bearing: the unordered-set-iteration lint rule
+        # fails the build if this intersection is ever iterated bare.
         for index in sorted(set(record.chunk_ready) & set(availability)):
             observations.append(
                 ChunkObservation(

@@ -18,6 +18,7 @@ import io
 import json
 import os
 import re
+import zlib
 from pathlib import Path
 from typing import Optional, Union
 
@@ -144,15 +145,19 @@ class DatasetCache:
     def get(self, key: str) -> Optional[BroadcastDataset]:
         """The cached dataset for ``key``, or ``None`` on a miss.
 
-        A corrupt entry (truncated write from an older, non-atomic tool,
-        bad bytes) is treated as a miss and removed.
+        A corrupt entry is treated as a miss and removed, so the caller
+        regenerates and overwrites it.  That covers a truncated gzip stream
+        (``EOFError`` — e.g. a file cut mid-byte by a non-atomic writer or a
+        full disk), corrupted deflate data (``zlib.error``), a bad gzip
+        header (``gzip.BadGzipFile``, an ``OSError``), and malformed or
+        incomplete JSONL (``ValueError``/``KeyError``).
         """
         path = self.path_for(key)
         if not path.exists():
             return None
         try:
             return load_dataset(path)
-        except (ValueError, OSError, json.JSONDecodeError, KeyError):
+        except (ValueError, OSError, EOFError, zlib.error, KeyError):
             path.unlink(missing_ok=True)
             return None
 

@@ -1,0 +1,80 @@
+"""The ``repro lint`` command-line target.
+
+Usage::
+
+    python -m repro lint src benchmarks        # text report, exit 1 on findings
+    python -m repro lint --json src            # versioned JSON document
+    python -m repro lint --list-rules          # rule catalog
+
+Exit codes: 0 clean, 1 findings, 2 usage error — mirroring the experiment
+CLI's conventions so ``scripts/check.sh`` can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import rule_catalog
+from repro.lint.runner import lint_paths
+
+#: Default lint scope when no paths are given: the library and the
+#: benchmarks (tests and examples may use wall clocks and ad-hoc RNG).
+DEFAULT_PATHS = ("src",)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Determinism linter: enforces that a run is a pure function of "
+            "(config, seed) with sim-time as the only clock. See LINTING.md "
+            "for the rule catalog and suppression syntax."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the versioned JSON report"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for entry in rule_catalog():
+            print(f"{entry['id']:<28} {entry['description']}")
+        return 0
+
+    paths = args.paths or list(DEFAULT_PATHS)
+    started = time.perf_counter()  # repro: allow[wall-clock] lint reports its own wall runtime
+    try:
+        report = lint_paths(paths)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started  # repro: allow[wall-clock] lint reports its own wall runtime
+
+    if args.json:
+        print(render_json(report))
+    else:
+        print(render_text(report))
+        print(f"[linted {report.files_checked} file(s) in {elapsed:.2f}s]")
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Lint findings and suppressions — the currency of :mod:`repro.lint`.
+
+A :class:`Finding` pins one rule violation to a file/line/column; a
+:class:`Suppression` is a parsed ``# repro: allow[rule-id] reason``
+comment.  Both are plain frozen dataclasses so reports sort, compare and
+serialize deterministically.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: Suppression comment syntax: "repro: allow" + bracketed rule id + reason.
+SUPPRESSION_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_-]+)\]\s*(.*?)\s*$")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable prefix of the text report."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (stable key order)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    """A parsed ``# repro: allow[rule-id] reason`` comment.
+
+    ``line`` is the physical line the comment sits on; a comment-only line
+    also covers the first code line that follows it.  ``used`` flips when a
+    finding is actually silenced — suppressions that silence nothing are
+    themselves reported (rule ``unused-suppression``).
+    """
+
+    rule_id: str
+    reason: str
+    line: int
+    standalone: bool  # comment-only line: applies to the next line too
+    used: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (stable key order)."""
+        return {"rule": self.rule_id, "line": self.line, "reason": self.reason}
+
+
+def parse_suppressions(source: str) -> list[Suppression]:
+    """Extract every suppression comment from ``source``.
+
+    Uses the :mod:`tokenize` stream rather than a per-line regex so string
+    literals (and docstrings documenting the syntax) never register as
+    suppressions.  Lines are 1-indexed, matching AST line numbers.
+    """
+    import io
+    import tokenize
+
+    suppressions: list[Suppression] = []
+    lines = source.splitlines()
+    for token in tokenize.generate_tokens(io.StringIO(source).readline):
+        if token.type != tokenize.COMMENT:
+            continue
+        match = SUPPRESSION_RE.search(token.string)
+        if not match:
+            continue
+        row, col = token.start
+        suppressions.append(
+            Suppression(
+                rule_id=match.group(1),
+                reason=match.group(2).strip(),
+                line=row,
+                standalone=not lines[row - 1][:col].strip(),
+            )
+        )
+    return suppressions

@@ -1,0 +1,119 @@
+"""Render a :class:`~repro.lint.runner.LintReport` as text or JSON.
+
+The JSON schema is versioned and validated by
+:func:`validate_lint_payload` — the same pattern ``BENCH_trace.json``
+uses in ``benchmarks/test_trace_scale.py`` — so tooling that consumes
+``repro lint --json`` output gets a contract, not a guess.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.runner import LintReport
+from repro.lint.rules import rule_catalog
+
+LINT_SCHEMA_VERSION = 1
+
+REQUIRED_TOP_KEYS = {
+    "tool",
+    "schema_version",
+    "paths",
+    "files_checked",
+    "rules",
+    "findings",
+    "suppressed",
+    "summary",
+}
+REQUIRED_FINDING_KEYS = {"rule", "path", "line", "col", "message"}
+REQUIRED_SUMMARY_KEYS = {"findings", "suppressed", "files_checked", "by_rule", "clean"}
+
+
+def report_to_payload(report: LintReport) -> dict:
+    """The ``repro lint --json`` document for ``report``."""
+    return {
+        "tool": "repro.lint",
+        "schema_version": LINT_SCHEMA_VERSION,
+        "paths": list(report.paths),
+        "files_checked": report.files_checked,
+        "rules": rule_catalog(),
+        "findings": [finding.to_dict() for finding in report.findings],
+        "suppressed": [entry.to_dict() for entry in report.suppressed],
+        "summary": {
+            "findings": len(report.findings),
+            "suppressed": len(report.suppressed),
+            "files_checked": report.files_checked,
+            "by_rule": report.by_rule(),
+            "clean": report.clean,
+        },
+    }
+
+
+def render_json(report: LintReport) -> str:
+    """Serialize the report as the versioned JSON document."""
+    return json.dumps(report_to_payload(report), indent=2, sort_keys=False)
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report: one ``path:line:col: [rule] message`` per finding."""
+    lines = [
+        f"{finding.location()}: [{finding.rule_id}] {finding.message}"
+        for finding in report.findings
+    ]
+    summary = (
+        f"{len(report.findings)} finding(s), {len(report.suppressed)} suppressed, "
+        f"{report.files_checked} file(s) checked"
+    )
+    if report.clean:
+        lines.append(f"clean: {summary}")
+    else:
+        lines.append(summary)
+        for rule_id, count in report.by_rule().items():
+            lines.append(f"  {count:>4}  {rule_id}")
+    return "\n".join(lines)
+
+
+def validate_lint_payload(payload: dict) -> None:
+    """Schema check for ``repro lint --json`` output; raises ``ValueError``.
+
+    Mirrors ``validate_bench_payload`` in ``benchmarks/test_trace_scale.py``:
+    a hand-rolled structural check, because the toolchain has no JSON-Schema
+    dependency and the contract is small enough to state exactly.
+    """
+    missing = REQUIRED_TOP_KEYS - payload.keys()
+    if missing:
+        raise ValueError(f"lint payload missing keys: {sorted(missing)}")
+    if payload["tool"] != "repro.lint":
+        raise ValueError(f"unexpected tool id {payload['tool']!r}")
+    if payload["schema_version"] != LINT_SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version {payload['schema_version']!r}")
+    if not isinstance(payload["files_checked"], int) or payload["files_checked"] < 0:
+        raise ValueError("files_checked must be a non-negative integer")
+    if not payload["rules"]:
+        raise ValueError("lint payload lists no rules")
+    for rule in payload["rules"]:
+        if not rule.get("id") or not rule.get("description"):
+            raise ValueError(f"rule entry missing id/description: {rule}")
+    for section in ("findings", "suppressed"):
+        for entry in payload[section]:
+            entry_missing = REQUIRED_FINDING_KEYS - entry.keys()
+            if entry_missing:
+                raise ValueError(f"{section} entry missing keys: {sorted(entry_missing)}")
+            if entry["line"] < 1 or entry["col"] < 1:
+                raise ValueError(f"{section} entry has non-positive location: {entry}")
+    for entry in payload["suppressed"]:
+        if not entry.get("reason"):
+            raise ValueError(f"suppressed entry without reason: {entry}")
+    summary = payload["summary"]
+    summary_missing = REQUIRED_SUMMARY_KEYS - summary.keys()
+    if summary_missing:
+        raise ValueError(f"summary missing keys: {sorted(summary_missing)}")
+    if summary["findings"] != len(payload["findings"]):
+        raise ValueError("summary.findings disagrees with findings list")
+    if summary["suppressed"] != len(payload["suppressed"]):
+        raise ValueError("summary.suppressed disagrees with suppressed list")
+    if summary["clean"] != (len(payload["findings"]) == 0):
+        raise ValueError("summary.clean disagrees with findings list")
+    # repro: allow[fsum-required] by_rule values are integer finding counts
+    if sum(summary["by_rule"].values()) != len(payload["findings"]):
+        raise ValueError("summary.by_rule counts disagree with findings list")

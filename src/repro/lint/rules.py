@@ -1,0 +1,115 @@
+"""Rule registry and the per-file context handed to every rule.
+
+AST rules subclass :class:`Rule` and register with :func:`register`; the
+runner also enforces three *meta* rules (suppression hygiene) that need
+whole-file state and therefore live in the runner rather than here — they
+are declared with :func:`declare_meta_rule` so ``repro lint --list-rules``
+and unknown-id checks see one unified catalog.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Type
+
+from repro.lint.findings import Finding
+
+#: Files allowed to call ``time.perf_counter`` without a suppression: the
+#: timing-only sites that report wall runtime to humans, never to the
+#: simulation.  Matched as posix-path suffixes / components.
+TIMING_ALLOWLIST_SUFFIXES = ("repro/cli.py", "repro/parallel/generate.py")
+TIMING_ALLOWLIST_DIRS = ("benchmarks",)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: Path
+    relpath: str  # posix form, as reported in findings
+    source: str
+    tree: ast.AST
+    lines: list[str] = field(default_factory=list)
+
+    @property
+    def is_package_init(self) -> bool:
+        """True for ``__init__.py`` — the files the ``missing-all`` rule owns."""
+        return self.path.name == "__init__.py"
+
+    @property
+    def timing_allowed(self) -> bool:
+        """True where ``time.perf_counter`` is sanctioned without suppression."""
+        posix = self.relpath
+        if any(posix.endswith(suffix) for suffix in TIMING_ALLOWLIST_SUFFIXES):
+            return True
+        return any(part in TIMING_ALLOWLIST_DIRS for part in posix.split("/"))
+
+    def finding(self, node: ast.AST, rule_id: str, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=rule_id,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for AST rules.
+
+    Subclasses set ``rule_id``/``description`` and implement :meth:`check`,
+    yielding findings for one parsed file.  Rules must be stateless across
+    files — one instance serves the whole run.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for ``ctx``; the base implementation yields none."""
+        raise NotImplementedError
+
+
+#: id -> rule instance, in registration order (reports sort by location, so
+#: registration order only affects --list-rules output).
+_AST_RULES: dict[str, Rule] = {}
+#: id -> description for runner-enforced meta rules.
+_META_RULES: dict[str, str] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add an AST rule to the registry."""
+    if not rule_cls.rule_id:
+        raise ValueError(f"{rule_cls.__name__} has no rule_id")
+    if rule_cls.rule_id in _AST_RULES or rule_cls.rule_id in _META_RULES:
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id!r}")
+    _AST_RULES[rule_cls.rule_id] = rule_cls()
+    return rule_cls
+
+
+def declare_meta_rule(rule_id: str, description: str) -> str:
+    """Register a runner-enforced rule id so the catalog stays unified."""
+    if rule_id in _AST_RULES or rule_id in _META_RULES:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    _META_RULES[rule_id] = description
+    return rule_id
+
+
+def ast_rules() -> Iterable[Rule]:
+    """All registered AST rule instances."""
+    return _AST_RULES.values()
+
+
+def known_rule_ids() -> frozenset[str]:
+    """Every valid rule id — AST and meta — for suppression validation."""
+    return frozenset(_AST_RULES) | frozenset(_META_RULES)
+
+
+def rule_catalog() -> list[dict]:
+    """``[{"id", "description"}, ...]`` sorted by id (JSON report / --list-rules)."""
+    entries = {rule.rule_id: rule.description for rule in _AST_RULES.values()}
+    entries.update(_META_RULES)
+    return [{"id": rule_id, "description": entries[rule_id]} for rule_id in sorted(entries)]

@@ -1,0 +1,233 @@
+"""Walk files, run every rule, apply and audit suppressions.
+
+The runner owns the three *meta* rules, which need whole-file suppression
+state:
+
+* ``suppression-missing-reason`` — an ``allow[...]`` with no reason does not
+  suppress anything and is itself a finding;
+* ``unknown-suppression`` — the bracketed id names no registered rule;
+* ``unused-suppression`` — the suppression silenced nothing (stale after a
+  fix; delete it).
+
+plus ``parse-error`` for files the :mod:`ast` parser rejects.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+# Importing checks registers every AST rule with the registry.
+import repro.lint.checks  # noqa: F401  (import is the registration)
+from repro.lint.findings import Finding, Suppression, parse_suppressions
+from repro.lint.rules import (
+    FileContext,
+    ast_rules,
+    declare_meta_rule,
+    known_rule_ids,
+)
+
+PathLike = Union[str, Path]
+
+RULE_SUPPRESSION_MISSING_REASON = declare_meta_rule(
+    "suppression-missing-reason",
+    "every # repro: allow[...] must carry a written justification",
+)
+RULE_UNKNOWN_SUPPRESSION = declare_meta_rule(
+    "unknown-suppression",
+    "suppression names a rule id that is not registered",
+)
+RULE_UNUSED_SUPPRESSION = declare_meta_rule(
+    "unused-suppression",
+    "suppression silenced no finding; delete it",
+)
+RULE_PARSE_ERROR = declare_meta_rule(
+    "parse-error",
+    "file does not parse; nothing else can be checked",
+)
+
+
+@dataclass
+class SuppressedFinding:
+    """A finding that an audited, justified suppression silenced."""
+
+    finding: Finding
+    reason: str
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {**self.finding.to_dict(), "reason": self.reason}
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, ready for either reporter."""
+
+    paths: list[str]
+    files_checked: int = 0
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[SuppressedFinding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no live findings remain (suppressed ones don't count)."""
+        return not self.findings
+
+    def exit_code(self) -> int:
+        """0 clean, 1 findings — the ``repro lint`` process exit code."""
+        return 0 if self.clean else 1
+
+    def by_rule(self) -> dict[str, int]:
+        """Live finding counts keyed by rule id, sorted by id."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def merge(self, other: "LintReport") -> None:
+        """Fold another file's report into this aggregate."""
+        self.files_checked += other.files_checked
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+
+
+def _match_suppression(
+    finding: Finding, suppressions: Sequence[Suppression]
+) -> Optional[Suppression]:
+    """The suppression covering ``finding``, if any.
+
+    Same-line comments cover their own line; a comment-only line also covers
+    the next line (for statements too long to share a line with the reason).
+    """
+    for suppression in suppressions:
+        if suppression.rule_id != finding.rule_id:
+            continue
+        if suppression.line == finding.line or (
+            suppression.standalone and suppression.line == finding.line - 1
+        ):
+            return suppression
+    return None
+
+
+def lint_source(source: str, relpath: str, path: Optional[Path] = None) -> LintReport:
+    """Lint one file's source text; the unit underneath :func:`lint_file`."""
+    report = LintReport(paths=[relpath], files_checked=1)
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as error:
+        report.findings.append(
+            Finding(
+                path=relpath,
+                line=error.lineno or 1,
+                col=(error.offset or 0) + 1,
+                rule_id=RULE_PARSE_ERROR,
+                message=f"syntax error: {error.msg}",
+            )
+        )
+        return report
+
+    ctx = FileContext(
+        path=path if path is not None else Path(relpath),
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+    )
+    suppressions = parse_suppressions(source)
+    known = known_rule_ids()
+
+    raw: list[Finding] = []
+    for rule in ast_rules():
+        raw.extend(rule.check(ctx))
+
+    for finding in raw:
+        suppression = _match_suppression(finding, suppressions)
+        if suppression is None:
+            report.findings.append(finding)
+        elif suppression.reason:
+            suppression.used = True
+            report.suppressed.append(SuppressedFinding(finding, suppression.reason))
+        else:
+            # An unjustified allow[] does not suppress: keep the original
+            # finding and add one for the missing reason.
+            suppression.used = True
+            report.findings.append(finding)
+            report.findings.append(
+                Finding(
+                    path=relpath,
+                    line=suppression.line,
+                    col=1,
+                    rule_id=RULE_SUPPRESSION_MISSING_REASON,
+                    message=f"allow[{suppression.rule_id}] carries no justification; "
+                    "state why the violation is acceptable",
+                )
+            )
+
+    for suppression in suppressions:
+        if suppression.rule_id not in known:
+            report.findings.append(
+                Finding(
+                    path=relpath,
+                    line=suppression.line,
+                    col=1,
+                    rule_id=RULE_UNKNOWN_SUPPRESSION,
+                    message=f"allow[{suppression.rule_id}] names no registered rule "
+                    "(see repro lint --list-rules)",
+                )
+            )
+        elif not suppression.used:
+            report.findings.append(
+                Finding(
+                    path=relpath,
+                    line=suppression.line,
+                    col=1,
+                    rule_id=RULE_UNUSED_SUPPRESSION,
+                    message=f"allow[{suppression.rule_id}] suppresses nothing; "
+                    "delete the stale comment",
+                )
+            )
+
+    report.findings.sort()
+    return report
+
+
+def lint_file(path: PathLike, root: Optional[Path] = None) -> LintReport:
+    """Lint a single ``.py`` file from disk."""
+    path = Path(path)
+    relpath = _relpath(path, root)
+    return lint_source(path.read_text(encoding="utf-8"), relpath, path=path)
+
+
+def _relpath(path: Path, root: Optional[Path]) -> str:
+    base = root if root is not None else Path.cwd()
+    try:
+        return path.resolve().relative_to(base.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def iter_python_files(paths: Iterable[PathLike]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list."""
+    seen: dict[Path, None] = {}
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            for found in sorted(entry.rglob("*.py")):
+                if "__pycache__" not in found.parts:
+                    seen.setdefault(found.resolve(), None)
+        elif entry.is_file() and entry.suffix == ".py":
+            seen.setdefault(entry.resolve(), None)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {entry}")
+    return sorted(seen)
+
+
+def lint_paths(paths: Sequence[PathLike], root: Optional[Path] = None) -> LintReport:
+    """Lint files and directory trees; the engine behind ``repro lint``."""
+    report = LintReport(paths=[str(p) for p in paths])
+    for path in iter_python_files(paths):
+        report.merge(lint_file(path, root=root))
+    report.findings.sort()
+    return report

@@ -45,3 +45,16 @@ def service() -> LivestreamService:
 def live_broadcast(service):
     """A running broadcast by user 1, started at t=0."""
     return service.start_broadcast(broadcaster_id=1, time=0.0)
+
+
+@pytest.fixture
+def determinism_sanitizer():
+    """The armed runtime determinism sanitizer (repro.lint.sanitizer).
+
+    While active, wall-clock and process-global RNG reads from repo or test
+    code raise DeterminismViolation naming the call site.
+    """
+    from repro.lint.sanitizer import DeterminismSanitizer
+
+    with DeterminismSanitizer() as sanitizer:
+        yield sanitizer

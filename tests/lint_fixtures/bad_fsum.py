@@ -1,0 +1,5 @@
+"""Fixture: violates fsum-required (float accumulation over mapping values)."""
+
+
+def total_delay(components: dict) -> float:
+    return float(sum(components.values()))

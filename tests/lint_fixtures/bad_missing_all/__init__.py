@@ -1,0 +1,3 @@
+"""Fixture package: violates missing-all (no __all__ defined at all)."""
+
+VALUE = 1

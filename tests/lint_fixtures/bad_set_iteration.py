@@ -1,0 +1,14 @@
+"""Fixture: violates unordered-set-iteration (the delay_crawler hazard, unsorted).
+
+Mirrors ``crawler/delay_crawler.py``'s chunk-index intersection — which is
+compliant only because it wraps the intersection in ``sorted()``.
+"""
+
+
+def chunk_indices(chunk_ready: dict, availability: dict) -> list:
+    observations = []
+    for index in set(chunk_ready) & set(availability):  # no sorted(): hash order
+        observations.append(index)
+    rows = list({"a", "b", "c"})
+    doubled = [value * 2 for value in frozenset(rows)]
+    return observations + rows + doubled

@@ -1,0 +1,18 @@
+"""Fixture: violates the suppression-hygiene meta rules.
+
+Line by line: an allow with no reason (suppression-missing-reason, and the
+original finding survives), an allow naming a nonexistent rule
+(unknown-suppression), and a justified allow on a clean line
+(unused-suppression).
+"""
+
+import time
+
+
+def bad():
+    started = time.time()  # repro: allow[wall-clock]
+    return started
+
+
+# repro: allow[no-such-rule] this rule id does not exist
+LIMIT = 3  # repro: allow[fsum-required] nothing to suppress here — stale

@@ -1,0 +1,15 @@
+"""Fixture: violates swallowed-exception (bare except + broad non-re-raising)."""
+
+
+def run_step(step):
+    try:
+        step()
+    except:  # noqa: E722
+        pass
+
+
+def run_quietly(step):
+    try:
+        step()
+    except Exception:
+        return None

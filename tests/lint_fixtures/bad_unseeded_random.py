@@ -1,0 +1,11 @@
+"""Fixture: violates unseeded-random (stdlib random + numpy legacy RNG)."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    jitter = random.random()
+    pick = np.random.randint(0, 10)
+    return jitter + pick

@@ -1,0 +1,12 @@
+"""Fixture: violates wall-clock (time.time, monotonic, datetime.now, perf_counter)."""
+
+import datetime
+import time
+
+
+def stamp():
+    started = time.time()
+    tick = time.monotonic()
+    today = datetime.datetime.now()
+    precise = time.perf_counter()  # outside the timing-only allowlist
+    return started, tick, today, precise

@@ -1,0 +1,33 @@
+"""Fixture: fully compliant control file — every rule passes.
+
+Justified suppressions, sorted set iteration, named substreams, exact
+integer sums, narrow exception handling.
+"""
+
+import math
+
+import numpy as np
+
+
+def ordered_union(left: set, right: set) -> list:
+    return sorted(left | right)
+
+
+def exact_total(components: dict) -> float:
+    return math.fsum(components.values())
+
+
+def count_total(counts: dict) -> int:
+    return sum(counts.values())  # repro: allow[fsum-required] integer counts — exact
+
+
+def seeded_draws(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return float(rng.random())
+
+
+def careful(step):
+    try:
+        step()
+    except ValueError:
+        return None

@@ -91,3 +91,41 @@ class TestTraceTarget:
     def test_trace_cannot_combine_with_experiments(self, capsys):
         assert main(["trace", "fig14"]) == 2
         assert "cannot be combined" in capsys.readouterr().err
+
+    def test_trace_sanitized_matches_unsanitized_output(self, capsys):
+        """--sanitize is observational: the printed summary is unchanged."""
+        args = ["trace", "--scale", "0.0001", "--seed", "4"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+
+        assert main(args + ["--sanitize"]) == 0
+        sanitized = capsys.readouterr().out
+        # Identical except the wall-runtime lines, which are host timing.
+        def strip(text):
+            return [
+                line
+                for line in text.splitlines()
+                if not line.startswith(("generated in", "shards"))
+            ]
+
+        assert strip(sanitized) == strip(plain)
+
+    def test_trace_sanitize_multiprocess_requires_pinned_hashseed(self, monkeypatch, capsys):
+        from repro.lint.sanitizer import DeterminismViolation
+
+        monkeypatch.delenv("PYTHONHASHSEED", raising=False)
+        with pytest.raises(DeterminismViolation, match="PYTHONHASHSEED"):
+            main(["trace", "--scale", "0.0001", "--seed", "4", "--sanitize", "--workers", "2"])
+        capsys.readouterr()
+
+
+class TestLintDispatch:
+    def test_lint_target_reaches_the_linter(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        assert "unseeded-random" in capsys.readouterr().out
+
+    def test_lint_flags_do_not_hit_experiment_parser(self, capsys):
+        """--json belongs to the lint subcommand, not the experiment CLI."""
+        assert main(["lint", "--json", "src/repro/lint/cli.py"]) == 0
+        out = capsys.readouterr().out
+        assert '"tool": "repro.lint"' in out

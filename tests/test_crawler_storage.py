@@ -124,6 +124,28 @@ class TestDatasetCache:
         assert cache.get("key") is None
         assert not cache.path_for("key").exists()
 
+    def test_truncated_gzip_entry_treated_as_miss(self, small_dataset, tmp_path):
+        """A file cut mid-byte (EOFError, not OSError) must be a miss, not a crash."""
+        cache = DatasetCache(tmp_path)
+        path = cache.put("key", small_dataset)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert cache.get("key") is None
+        assert not path.exists()
+
+    def test_truncated_entry_regenerated_and_overwritten(self, small_dataset, tmp_path):
+        """After a truncation miss, put() restores a loadable entry in place."""
+        cache = DatasetCache(tmp_path)
+        path = cache.put("key", small_dataset)
+        intact = path.read_bytes()
+        path.write_bytes(intact[:-7])  # clip the gzip trailer mid-byte
+        assert cache.get("key") is None
+        cache.put("key", small_dataset)
+        assert path.read_bytes() == intact
+        restored = cache.get("key")
+        assert restored is not None
+        assert restored.table1_row() == small_dataset.table1_row()
+
     def test_invalid_key_rejected(self, tmp_path):
         cache = DatasetCache(tmp_path)
         with pytest.raises(ValueError):

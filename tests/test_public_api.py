@@ -24,6 +24,9 @@ PACKAGES = [
     "repro.client",
     "repro.crawler",
     "repro.faults",
+    "repro.obs",
+    "repro.parallel",
+    "repro.lint",
     "repro.core",
     "repro.overlay",
     "repro.security",

@@ -3,9 +3,11 @@
 Emits ``BENCH_trace.json`` at the repo root — broadcasts/sec for the
 shardable record-generation stage at several scales, serial
 (``workers=1``) vs parallel (4 workers) — to seed the perf trajectory
-toward the paper's 19.6M-broadcast volume.  The shared precompute
-(population pools + follow graph) is built once per scale and reported
-separately as ``context_seconds``; it is identical work for both modes.
+toward the paper's 19.6M-broadcast volume.  The shared precompute is
+built once per scale and split into two reported phases: the follow
+graph (``graph_seconds``) and the population pools / follower-count
+table (the rest of ``context_seconds``, which includes
+``graph_seconds``); it is identical work for both modes.
 
 Modes:
 
@@ -29,9 +31,9 @@ from pathlib import Path
 
 from repro.crawler.storage import dataset_to_bytes
 from repro.parallel import generate_dataset
-from repro.workload.trace import TraceConfig, build_trace_context
+from repro.workload.trace import TraceConfig, build_follow_graph, build_trace_context
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 BENCH_WORKERS = 4
 FULL_SCALES = (0.001, 0.01, 0.05)
 SMOKE_SCALES = (0.001,)
@@ -48,6 +50,7 @@ REQUIRED_TOP_KEYS = {"benchmark", "schema_version", "cpu_count", "workers", "smo
 REQUIRED_RESULT_KEYS = {
     "scale",
     "broadcasts",
+    "graph_seconds",
     "context_seconds",
     "serial_seconds",
     "parallel_seconds",
@@ -72,6 +75,8 @@ def validate_bench_payload(payload: dict) -> None:
             raise ValueError(f"result row missing keys: {sorted(row_missing)}")
         if row["broadcasts"] <= 0 or row["serial_seconds"] <= 0 or row["parallel_seconds"] <= 0:
             raise ValueError(f"non-positive measurements in row {row}")
+        if row["graph_seconds"] < 0 or row["context_seconds"] < row["graph_seconds"]:
+            raise ValueError(f"inconsistent phase timings in row {row}")
 
 
 def _measure(scale: float) -> dict:
@@ -79,8 +84,14 @@ def _measure(scale: float) -> dict:
     parallel_config = TraceConfig.periscope(scale=scale, seed=SEED, workers=BENCH_WORKERS)
 
     started = time.perf_counter()
-    context, _graph = build_trace_context(serial_config)
-    context_seconds = time.perf_counter() - started
+    graph = build_follow_graph(serial_config)
+    graph_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    context, _graph = build_trace_context(serial_config, graph=graph)
+    # context_seconds is total precompute (graph + pools), so it stays
+    # comparable with pre-schema-2 baselines.
+    context_seconds = graph_seconds + (time.perf_counter() - started)
 
     started = time.perf_counter()
     serial = generate_dataset(serial_config, context)
@@ -99,6 +110,7 @@ def _measure(scale: float) -> dict:
     return {
         "scale": scale,
         "broadcasts": len(serial),
+        "graph_seconds": round(graph_seconds, 3),
         "context_seconds": round(context_seconds, 3),
         "serial_seconds": round(serial_seconds, 3),
         "parallel_seconds": round(parallel_seconds, 3),

@@ -24,16 +24,38 @@ if [[ "${1:-}" == "bench" ]]; then
     trap 'rm -f "$out"' EXIT
     BENCH_TRACE_SMOKE=1 BENCH_TRACE_OUT="$out" PYTHONPATH=src \
         python -m pytest -x -q benchmarks/test_trace_scale.py
-    PYTHONPATH=src python - "$out" <<'EOF'
-import json, sys
+    PYTHONPATH=src python - "$out" BENCH_trace.json <<'EOF'
+import json, os, sys
 from benchmarks.test_trace_scale import validate_bench_payload
-payload = json.load(open(sys.argv[1]))
-validate_bench_payload(payload)
-row = payload["results"][0]
-print(f"bench ok: scale {row['scale']:g}, "
-      f"serial {row['serial_broadcasts_per_sec']}/s, "
-      f"parallel {row['parallel_broadcasts_per_sec']}/s "
-      f"({payload['cpu_count']} core(s))")
+
+def check(path, payload):
+    validate_bench_payload(payload)
+    # Parallel generation must actually beat serial — but only where the
+    # comparison is meaningful: at toy scales pool startup dominates, and
+    # on a single core "parallel" measures pure scheduling overhead.
+    for row in payload["results"]:
+        gated = row["scale"] >= 0.01 and payload["cpu_count"] >= 2
+        if not gated:
+            why = ("single core" if payload["cpu_count"] < 2
+                   else f"scale {row['scale']:g} < 0.01")
+            print(f"{path}: speed gate skipped at scale {row['scale']:g} ({why})")
+            continue
+        if row["parallel_seconds"] > row["serial_seconds"]:
+            raise SystemExit(
+                f"{path}: parallel slower than serial at scale {row['scale']:g}: "
+                f"{row['parallel_seconds']}s > {row['serial_seconds']}s "
+                f"on {payload['cpu_count']} cores"
+            )
+    row = payload["results"][0]
+    print(f"{path} ok: scale {row['scale']:g}, "
+          f"serial {row['serial_broadcasts_per_sec']}/s, "
+          f"parallel {row['parallel_broadcasts_per_sec']}/s "
+          f"({payload['cpu_count']} core(s))")
+
+check("smoke run", json.load(open(sys.argv[1])))
+# Also hold the committed baseline to the same schema + speed gate.
+if os.path.exists(sys.argv[2]):
+    check(sys.argv[2], json.load(open(sys.argv[2])))
 EOF
     exit 0
 fi

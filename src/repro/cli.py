@@ -80,6 +80,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="on-disk dataset cache for the 'trace' target (keyed by config hash)",
     )
     parser.add_argument(
+        "--cache-format", choices=("v1", "v2"), default="v2",
+        help=(
+            "serialization for new 'trace' cache entries: v2 binary "
+            "columnar (default) or v1 gzipped JSONL; both store identical "
+            "datasets and either cache reads the other's files"
+        ),
+    )
+    parser.add_argument(
         "--sanitize", action="store_true",
         help=(
             "arm the runtime determinism sanitizer for the 'chaos' and "
@@ -139,7 +147,12 @@ def _render_trace(args: argparse.Namespace) -> str:
     )
     registry = MetricsRegistry()
     started = time.perf_counter()
-    trace = generate_trace(config, cache_dir=args.cache_dir, registry=registry)
+    trace = generate_trace(
+        config,
+        cache_dir=args.cache_dir,
+        registry=registry,
+        cache_format=args.cache_format,
+    )
     elapsed = time.perf_counter() - started
 
     snapshot = registry.snapshot()
@@ -154,10 +167,27 @@ def _render_trace(args: argparse.Namespace) -> str:
         f"generated in    {elapsed:.1f}s"
         + (f" ({dataset.broadcast_count / elapsed:.0f} broadcasts/s)" if elapsed > 0 else ""),
     ]
+    # Per-phase wall times from the registry (graph is part of context).
+    gauges = snapshot["gauges"]
+    phases = [
+        ("graph", "trace.graph_seconds"),
+        ("context", "trace.context_seconds"),
+        ("generate", "trace.generate_seconds"),
+        ("merge", "trace.merge_seconds"),
+    ]
+    for label, gauge_name in phases:
+        if gauge_name in gauges:
+            lines.append(f"phase {label:<9} {gauges[gauge_name]['value']:.2f}s")
     if cache_hit:
-        lines.append(f"dataset cache   hit ({args.cache_dir}, key {config.cache_key()})")
+        lines.append(
+            f"dataset cache   hit ({args.cache_dir}, key {config.cache_key()}, "
+            f"format {args.cache_format})"
+        )
     elif args.cache_dir:
-        lines.append(f"dataset cache   miss -> stored ({args.cache_dir}, key {config.cache_key()})")
+        lines.append(
+            f"dataset cache   miss -> stored ({args.cache_dir}, "
+            f"key {config.cache_key()}, format {args.cache_format})"
+        )
     shard_stats = snapshot["histograms"].get("trace.shard_seconds")
     if shard_stats and shard_stats["count"]:
         workers = int(snapshot["gauges"]["trace.workers"]["value"])

@@ -13,7 +13,12 @@ simulated platform and CDN:
   each frame/chunk's journey through the CDN (§4.3).
 """
 
-from repro.crawler.dataset import BroadcastDataset, BroadcastRecord, DowntimeWindow
+from repro.crawler.dataset import (
+    BroadcastColumns,
+    BroadcastDataset,
+    BroadcastRecord,
+    DowntimeWindow,
+)
 from repro.crawler.rate_limit import RateLimitExceeded, TokenBucket
 from repro.crawler.global_list import CrawlerAccount, GlobalListCrawler
 from repro.crawler.broadcast_monitor import BroadcastMonitor
@@ -22,7 +27,9 @@ from repro.crawler.graph_crawler import FollowGraphCrawler, GraphApi, GraphCrawl
 from repro.crawler.storage import (
     DatasetCache,
     dataset_from_bytes,
+    dataset_from_columnar_bytes,
     dataset_to_bytes,
+    dataset_to_columnar_bytes,
     load_dataset,
     load_traces,
     save_dataset,
@@ -30,6 +37,7 @@ from repro.crawler.storage import (
 )
 
 __all__ = [
+    "BroadcastColumns",
     "BroadcastDataset",
     "BroadcastRecord",
     "DowntimeWindow",
@@ -47,6 +55,8 @@ __all__ = [
     "DatasetCache",
     "dataset_to_bytes",
     "dataset_from_bytes",
+    "dataset_to_columnar_bytes",
+    "dataset_from_columnar_bytes",
     "save_dataset",
     "load_dataset",
     "save_traces",

@@ -3,10 +3,13 @@
 The paper released parts of its measurement datasets; this module gives
 the reproduction the same capability: broadcast datasets round-trip
 through gzip-compressed JSONL (one record per line, metadata on the first
-line) and fine-grained delay traces through ``.npz`` bundles.
+line — the v1 format) or through a binary columnar layout (v2: one JSON
+header line followed by the raw little-endian column arrays), and
+fine-grained delay traces through ``.npz`` bundles.
 
-Serialization is byte-deterministic (the gzip header's mtime is pinned to
-zero): the same dataset always produces the same bytes, which is what the
+Serialization is byte-deterministic in both formats (the gzip header's
+mtime is pinned to zero and v2 writes fixed-dtype little-endian buffers):
+the same dataset always produces the same bytes, which is what the
 sharded-generation determinism tests and the on-disk
 :class:`DatasetCache` rely on.
 """
@@ -25,11 +28,30 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.core.pipeline import BroadcastTrace
-from repro.crawler.dataset import BroadcastDataset, BroadcastRecord
+from repro.crawler.dataset import BroadcastColumns, BroadcastDataset, BroadcastRecord
 
 PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 1
+
+_COLUMNS_FORMAT_VERSION = 2
+
+#: v2 column serialization order and on-disk dtypes.  Little-endian is
+#: forced so the bytes are platform-independent.
+_COLUMN_LAYOUT: tuple[tuple[str, str], ...] = (
+    ("broadcast_id", "<i8"),
+    ("broadcaster_id", "<i8"),
+    ("start_time", "<f8"),
+    ("duration_s", "<f8"),
+    ("web_views", "<i8"),
+    ("heart_count", "<i8"),
+    ("comment_count", "<i8"),
+    ("commenter_count", "<i8"),
+    ("is_private", "|b1"),
+    ("broadcaster_followers", "<i8"),
+    ("viewer_indptr", "<i8"),
+    ("viewer_ids", "<i8"),
+)
 
 
 def _record_to_json(record: BroadcastRecord) -> dict:
@@ -109,6 +131,74 @@ def dataset_from_bytes(data: bytes, source: str = "<bytes>") -> BroadcastDataset
     return dataset
 
 
+def _column_length(field: str, record_count: int, viewer_count: int) -> int:
+    if field == "viewer_indptr":
+        return record_count + 1
+    if field == "viewer_ids":
+        return viewer_count
+    return record_count
+
+
+def dataset_to_columnar_bytes(dataset: BroadcastDataset) -> bytes:
+    """Serialize a dataset to the deterministic v2 binary columnar format.
+
+    Layout: one JSON header line, then each column of
+    :data:`_COLUMN_LAYOUT` as raw little-endian bytes, all gzipped with
+    mtime pinned to 0.  Record-backed datasets are columnarized first;
+    either backend serializes to the identical bytes.
+    """
+    columns = dataset.columns
+    if columns is None:
+        columns = BroadcastColumns.from_records(dataset.app_name, dataset.records)
+    header = {
+        "format_version": _COLUMNS_FORMAT_VERSION,
+        "app_name": dataset.app_name,
+        "days": dataset.days,
+        "record_count": len(columns),
+        "viewer_count": len(columns.viewer_ids),
+    }
+    raw = io.BytesIO()
+    with gzip.GzipFile(filename="", mode="wb", fileobj=raw, mtime=0) as binary:
+        binary.write((json.dumps(header) + "\n").encode("utf-8"))
+        for field, dtype in _COLUMN_LAYOUT:
+            binary.write(
+                np.ascontiguousarray(getattr(columns, field), dtype=dtype).tobytes()
+            )
+    return raw.getvalue()
+
+
+def dataset_from_columnar_bytes(data: bytes, source: str = "<bytes>") -> BroadcastDataset:
+    """Inverse of :func:`dataset_to_columnar_bytes`."""
+    payload = gzip.decompress(data)
+    newline = payload.find(b"\n")
+    if newline < 0:
+        raise ValueError(f"{source}: empty dataset file")
+    header = json.loads(payload[:newline])
+    version = header.get("format_version")
+    if version != _COLUMNS_FORMAT_VERSION:
+        raise ValueError(f"{source}: unsupported format version {version}")
+    record_count = int(header["record_count"])
+    viewer_count = int(header["viewer_count"])
+
+    offset = newline + 1
+    arrays: dict[str, np.ndarray] = {}
+    for field, dtype_str in _COLUMN_LAYOUT:
+        dtype = np.dtype(dtype_str)
+        nbytes = _column_length(field, record_count, viewer_count) * dtype.itemsize
+        if offset + nbytes > len(payload):
+            raise ValueError(f"{source}: truncated dataset (column {field!r})")
+        arrays[field] = np.frombuffer(
+            payload, dtype=dtype, count=nbytes // dtype.itemsize, offset=offset
+        ).copy()
+        offset += nbytes
+    if offset != len(payload):
+        raise ValueError(f"{source}: trailing bytes after columns")
+    columns = BroadcastColumns(app_name=header["app_name"], **arrays)
+    return BroadcastDataset.from_columns(
+        app_name=header["app_name"], days=header["days"], columns=columns
+    )
+
+
 def save_dataset(dataset: BroadcastDataset, path: PathLike) -> None:
     """Write a dataset as gzip JSONL: header line, then one record/line."""
     Path(path).write_bytes(dataset_to_bytes(dataset))
@@ -122,6 +212,13 @@ def load_dataset(path: PathLike) -> BroadcastDataset:
 _CACHE_KEY_RE = re.compile(r"^[A-Za-z0-9._-]{1,100}$")
 
 
+#: Cache serialization formats: file suffix, serializer, deserializer.
+_CACHE_FORMATS = {
+    "v1": (".jsonl.gz", dataset_to_bytes, dataset_from_bytes),
+    "v2": (".cols.gz", dataset_to_columnar_bytes, dataset_from_columnar_bytes),
+}
+
+
 class DatasetCache:
     """A content-addressed on-disk cache of generated broadcast datasets.
 
@@ -131,16 +228,29 @@ class DatasetCache:
     processes reuse one generation.  Writes are atomic (temp file +
     ``os.replace``) so a crashed run never leaves a truncated entry that
     a later run would trip over.
+
+    ``fmt`` picks the serialization for new entries: ``"v2"`` (default)
+    is the binary columnar format, ``"v1"`` gzipped JSONL.  A v2 cache
+    still reads entries a v1 cache wrote (and vice versa): on a miss in
+    its own format, ``get`` falls back to the other format's file.  An
+    entry whose embedded format version does not match its reader is
+    treated as a miss and removed, like any other corrupt entry.
     """
 
-    def __init__(self, root: PathLike) -> None:
+    def __init__(self, root: PathLike, fmt: str = "v2") -> None:
+        if fmt not in _CACHE_FORMATS:
+            raise ValueError(
+                f"unknown cache format {fmt!r}; expected one of {sorted(_CACHE_FORMATS)}"
+            )
         self.root = Path(root)
+        self.fmt = fmt
         self.root.mkdir(parents=True, exist_ok=True)
 
-    def path_for(self, key: str) -> Path:
+    def path_for(self, key: str, fmt: Optional[str] = None) -> Path:
         if not _CACHE_KEY_RE.match(key):
             raise ValueError(f"invalid cache key {key!r}")
-        return self.root / f"trace-{key}.jsonl.gz"
+        suffix, _, _ = _CACHE_FORMATS[fmt or self.fmt]
+        return self.root / f"trace-{key}{suffix}"
 
     def get(self, key: str) -> Optional[BroadcastDataset]:
         """The cached dataset for ``key``, or ``None`` on a miss.
@@ -149,28 +259,35 @@ class DatasetCache:
         regenerates and overwrites it.  That covers a truncated gzip stream
         (``EOFError`` — e.g. a file cut mid-byte by a non-atomic writer or a
         full disk), corrupted deflate data (``zlib.error``), a bad gzip
-        header (``gzip.BadGzipFile``, an ``OSError``), and malformed or
-        incomplete JSONL (``ValueError``/``KeyError``).
+        header (``gzip.BadGzipFile``, an ``OSError``), malformed or
+        incomplete payloads (``ValueError``/``KeyError``), and a format
+        version the reader does not understand.
         """
-        path = self.path_for(key)
-        if not path.exists():
-            return None
-        try:
-            return load_dataset(path)
-        except (ValueError, OSError, EOFError, zlib.error, KeyError):
-            path.unlink(missing_ok=True)
-            return None
+        for fmt in dict.fromkeys((self.fmt, *sorted(_CACHE_FORMATS))):
+            path = self.path_for(key, fmt)
+            if not path.exists():
+                continue
+            _, _, deserialize = _CACHE_FORMATS[fmt]
+            try:
+                return deserialize(path.read_bytes(), source=str(path))
+            except (ValueError, OSError, EOFError, zlib.error, KeyError):
+                path.unlink(missing_ok=True)
+                return None
+        return None
 
     def put(self, key: str, dataset: BroadcastDataset) -> Path:
         """Store ``dataset`` under ``key``; returns the entry's path."""
         path = self.path_for(key)
+        _, serialize, _ = _CACHE_FORMATS[self.fmt]
         temp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
-        temp.write_bytes(dataset_to_bytes(dataset))
+        temp.write_bytes(serialize(dataset))
         os.replace(temp, path)
         return path
 
     def __contains__(self, key: str) -> bool:
-        return self.path_for(key).exists()
+        return any(
+            self.path_for(key, fmt).exists() for fmt in _CACHE_FORMATS
+        )
 
 
 def save_traces(traces: list[BroadcastTrace], path: PathLike) -> None:

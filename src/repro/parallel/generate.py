@@ -10,15 +10,19 @@ module fans generation out over a :class:`~concurrent.futures.ProcessPoolExecuto
 * every day draws from its own seed-derived substream, so results are
   schedule-independent — ``workers=1`` and ``workers=N`` produce
   byte-identical datasets for the same config,
-* shard outputs are merged with a stable sort on
+* workers return packed :class:`~repro.crawler.dataset.BroadcastColumns`
+  (a dozen numpy arrays per day) instead of pickled record objects, so
+  the process-boundary cost is a few buffer copies,
+* shard outputs are merged with a stable argsort on
   ``(start_time, broadcast_id)`` and globally re-keyed IDs
-  (:func:`repro.workload.trace.assemble_dataset`),
+  (:func:`repro.workload.trace.assemble_dataset_columns`),
 * an optional on-disk cache (:class:`repro.crawler.storage.DatasetCache`,
   keyed by :meth:`TraceConfig.cache_key`) lets figure experiments reuse
   generated traces across processes.
 
-Shard timings and cache traffic are published through the
-:mod:`repro.obs` registry passed in (no-op by default).
+Per-phase wall times (graph build, context, generation, merge), shard
+timings, and cache traffic are published through the :mod:`repro.obs`
+registry passed in (no-op by default).
 """
 
 from __future__ import annotations
@@ -31,14 +35,15 @@ from typing import Optional, Union
 from repro.obs import NULL_REGISTRY
 from repro.parallel.sharding import ShardSpec, plan_shards
 from repro.workload.trace import (
+    BroadcastColumns,
     BroadcastDataset,
-    BroadcastRecord,
     ShardContext,
     TraceConfig,
     WorkloadTrace,
-    assemble_dataset,
+    assemble_dataset_columns,
+    build_follow_graph,
     build_trace_context,
-    generate_day_records,
+    generate_day_columns,
 )
 
 #: Per-worker-process shard context (set by the pool initializer, or
@@ -53,14 +58,14 @@ def _init_worker(context: ShardContext) -> None:
 
 def _run_shard(
     spec: ShardSpec, context: Optional[ShardContext] = None
-) -> tuple[int, list[list[BroadcastRecord]], float]:
-    """Generate one shard's day range; returns (shard_id, day lists, seconds)."""
+) -> tuple[int, list[BroadcastColumns], float]:
+    """Generate one shard's day range; returns (shard_id, day columns, seconds)."""
     ctx = context if context is not None else _WORKER_CONTEXT
     if ctx is None:
         raise RuntimeError("worker process has no shard context (initializer not run)")
     started = time.perf_counter()
-    day_lists = [generate_day_records(ctx, day) for day in spec.days()]
-    return spec.shard_id, day_lists, time.perf_counter() - started
+    day_columns = [generate_day_columns(ctx, day) for day in spec.days()]
+    return spec.shard_id, day_columns, time.perf_counter() - started
 
 
 def generate_dataset(
@@ -82,25 +87,33 @@ def generate_dataset(
         "trace.shard_seconds", "wall seconds per generation shard"
     )
 
-    results: dict[int, list[list[BroadcastRecord]]] = {}
+    generate_started = time.perf_counter()
+    results: dict[int, list[BroadcastColumns]] = {}
     if workers <= 1:
         # In-process fallback: same shard walk, no executor.
         for spec in specs:
-            shard_id, day_lists, seconds = _run_shard(spec, context)
-            results[shard_id] = day_lists
+            shard_id, day_columns, seconds = _run_shard(spec, context)
+            results[shard_id] = day_columns
             shard_seconds.observe(seconds)
     else:
         with ProcessPoolExecutor(
             max_workers=workers, initializer=_init_worker, initargs=(context,)
         ) as pool:
-            for shard_id, day_lists, seconds in pool.map(_run_shard, specs):
-                results[shard_id] = day_lists
+            for shard_id, day_columns, seconds in pool.map(_run_shard, specs):
+                results[shard_id] = day_columns
                 shard_seconds.observe(seconds)
+    registry.gauge(
+        "trace.generate_seconds", "wall seconds in per-day generation (all shards)"
+    ).set(time.perf_counter() - generate_started)
 
+    merge_started = time.perf_counter()
     ordered_days = [
-        day_records for shard_id in sorted(results) for day_records in results[shard_id]
+        day_columns for shard_id in sorted(results) for day_columns in results[shard_id]
     ]
-    dataset = assemble_dataset(config, ordered_days)
+    dataset = assemble_dataset_columns(config, ordered_days)
+    registry.gauge(
+        "trace.merge_seconds", "wall seconds merging and re-keying shard output"
+    ).set(time.perf_counter() - merge_started)
     registry.counter("trace.broadcasts", "broadcast records generated").inc(len(dataset))
     return dataset
 
@@ -109,15 +122,29 @@ def generate_trace(
     config: TraceConfig,
     cache_dir: Optional[Union[str, Path]] = None,
     registry=NULL_REGISTRY,
+    cache_format: str = "v2",
 ) -> WorkloadTrace:
     """Generate (or load from cache) a full :class:`WorkloadTrace`.
 
     The population pools and follow graph are deterministic precomputes
     and are always rebuilt (they are needed by social analyses either
     way); only the broadcast dataset — the expensive, shardable part —
-    goes through the on-disk cache.
+    goes through the on-disk cache.  ``cache_format`` picks the cache
+    serialization (``"v2"`` binary columnar, ``"v1"`` gzipped JSONL);
+    both store the identical dataset.
     """
-    context, graph = build_trace_context(config)
+    graph_started = time.perf_counter()
+    graph = build_follow_graph(config)
+    graph_seconds = time.perf_counter() - graph_started
+    registry.gauge(
+        "trace.graph_seconds", "wall seconds building the follow graph"
+    ).set(graph_seconds)
+
+    context_started = time.perf_counter()
+    context, graph = build_trace_context(config, graph=graph)
+    registry.gauge(
+        "trace.context_seconds", "wall seconds in precompute (graph + pools)"
+    ).set(graph_seconds + (time.perf_counter() - context_started))
 
     dataset: Optional[BroadcastDataset] = None
     cache = None
@@ -125,7 +152,7 @@ def generate_trace(
         # Imported here: storage has no dependency on this module.
         from repro.crawler.storage import DatasetCache
 
-        cache = DatasetCache(cache_dir)
+        cache = DatasetCache(cache_dir, fmt=cache_format)
         dataset = cache.get(config.cache_key())
         if dataset is not None:
             registry.counter("trace.cache_hits", "dataset cache hits").inc()

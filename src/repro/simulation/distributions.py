@@ -19,20 +19,28 @@ ArrayOrFloat = Union[float, np.ndarray]
 
 def lognormal_from_median(
     rng: np.random.Generator,
-    median: float,
+    median: ArrayOrFloat,
     sigma: float,
     size: Union[int, None] = None,
 ) -> ArrayOrFloat:
     """Sample a lognormal parameterized by its *median* rather than ``mu``.
 
     ``median`` is easier to calibrate against the paper's CDF figures: the
-    lognormal median is ``exp(mu)``, so ``mu = ln(median)``.
+    lognormal median is ``exp(mu)``, so ``mu = ln(median)``.  ``median``
+    may be an array (broadcast against ``size``) for batched sampling with
+    a per-sample median.
     """
-    if median <= 0:
-        raise ValueError(f"median must be positive, got {median}")
+    if isinstance(median, np.ndarray):
+        if len(median) and float(median.min()) <= 0:
+            raise ValueError("all medians must be positive")
+        mu: ArrayOrFloat = np.log(median)
+    else:
+        if median <= 0:
+            raise ValueError(f"median must be positive, got {median}")
+        mu = math.log(median)
     if sigma < 0:
         raise ValueError(f"sigma must be non-negative, got {sigma}")
-    return rng.lognormal(mean=math.log(median), sigma=sigma, size=size)
+    return rng.lognormal(mean=mu, sigma=sigma, size=size)
 
 
 def bounded_pareto(

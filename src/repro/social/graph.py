@@ -1,8 +1,18 @@
-"""Directed follow graph with O(1) edge queries and per-node adjacency."""
+"""Directed follow graphs: a mutable dict-of-sets and a frozen CSR view.
+
+:class:`FollowGraph` is the mutable representation the platform simulator
+uses for incremental follow/unfollow updates.  :class:`CompiledGraph` is a
+frozen compressed-sparse-row (CSR) snapshot — two int64 arrays per
+direction — that the trace-generation and graph-metrics hot paths consume:
+``follower_count`` is an O(1) array lookup instead of a set materialization,
+and ``followees_of`` is an array slice instead of a frozenset copy.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Optional, Union
+
+import numpy as np
 
 
 class FollowGraph:
@@ -100,3 +110,239 @@ class FollowGraph:
         for follower, followee in edges:
             graph.add_follow(follower, followee)
         return graph
+
+    def compile(self) -> "CompiledGraph":
+        """Freeze this graph into a :class:`CompiledGraph` CSR snapshot."""
+        node_ids = np.fromiter(self._followees, dtype=np.int64, count=len(self._followees))
+        node_ids.sort()
+        count = self._edge_count
+        src = np.empty(count, dtype=np.int64)
+        dst = np.empty(count, dtype=np.int64)
+        cursor = 0
+        for follower, followees in self._followees.items():
+            for followee in sorted(followees):
+                src[cursor] = follower
+                dst[cursor] = followee
+                cursor += 1
+        return CompiledGraph.from_edge_arrays(src, dst, node_ids=node_ids)
+
+
+class CompiledGraph:
+    """A frozen CSR view of a directed follow graph.
+
+    Nodes are stored as a sorted ``node_ids`` array; edges as two CSR pairs:
+    ``indptr``/``indices`` for out-adjacency (followees, sorted per node)
+    and ``rindptr``/``rindices`` for in-adjacency (followers).  All arrays
+    are int64.  Queries accept *original* user IDs; unknown IDs behave like
+    isolated nodes (count 0, empty adjacency), matching the ``dict.get``
+    defaults of :class:`FollowGraph`.
+
+    When ``node_ids`` is exactly ``0..n-1`` (the shape the synthetic
+    generator produces), ID-to-index translation is the identity and every
+    query is a pure array operation.
+    """
+
+    __slots__ = ("node_ids", "indptr", "indices", "rindptr", "rindices", "_contiguous")
+
+    def __init__(
+        self,
+        node_ids: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        rindptr: np.ndarray,
+        rindices: np.ndarray,
+    ) -> None:
+        self.node_ids = node_ids
+        self.indptr = indptr
+        self.indices = indices
+        self.rindptr = rindptr
+        self.rindices = rindices
+        n = len(node_ids)
+        self._contiguous = bool(
+            n == 0 or (node_ids[0] == 0 and node_ids[-1] == n - 1)
+        )
+
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        src: np.ndarray,
+        dst: np.ndarray,
+        n_nodes: Optional[int] = None,
+        node_ids: Optional[np.ndarray] = None,
+    ) -> "CompiledGraph":
+        """Compile deduplicated ``src -> dst`` edge arrays into CSR form.
+
+        Pass ``n_nodes`` for contiguous ``0..n-1`` node IDs, or an explicit
+        sorted ``node_ids`` array otherwise.  Edges must reference known
+        nodes and contain no duplicates or self-loops.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ValueError("src and dst must have the same length")
+        if node_ids is None:
+            if n_nodes is None:
+                raise ValueError("need n_nodes or node_ids")
+            node_ids = np.arange(n_nodes, dtype=np.int64)
+        n = len(node_ids)
+        contiguous = bool(n == 0 or (node_ids[0] == 0 and node_ids[-1] == n - 1))
+        if contiguous:
+            src_idx, dst_idx = src, dst
+        else:
+            src_idx = np.searchsorted(node_ids, src)
+            dst_idx = np.searchsorted(node_ids, dst)
+        if len(src_idx) and (
+            src_idx.min() < 0 or src_idx.max() >= n or dst_idx.min() < 0 or dst_idx.max() >= n
+        ):
+            raise ValueError("edge endpoints outside the node set")
+
+        order = np.lexsort((dst_idx, src_idx))
+        indices = dst_idx[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src_idx, minlength=n), out=indptr[1:])
+
+        rorder = np.lexsort((src_idx, dst_idx))
+        rindices = src_idx[rorder]
+        rindptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(dst_idx, minlength=n), out=rindptr[1:])
+
+        return cls(node_ids, indptr, indices, rindptr, rindices)
+
+    @classmethod
+    def from_follow_graph(cls, graph: FollowGraph) -> "CompiledGraph":
+        return graph.compile()
+
+    def to_follow_graph(self) -> FollowGraph:
+        """Thaw into a mutable :class:`FollowGraph` (Python-loop cost O(E))."""
+        graph = FollowGraph()
+        ids = self.node_ids.tolist()
+        for node in ids:
+            graph.add_node(node)
+        src_idx = np.repeat(
+            np.arange(len(ids), dtype=np.int64), np.diff(self.indptr)
+        )
+        for u, v in zip(self.node_ids[src_idx].tolist(), self.node_ids[self.indices].tolist()):
+            graph.add_follow(u, v)
+        return graph
+
+    # -- index translation --------------------------------------------
+
+    def _index_of(self, user_id: int) -> int:
+        """Internal index of ``user_id``, or -1 if unknown."""
+        n = len(self.node_ids)
+        if self._contiguous:
+            return user_id if 0 <= user_id < n else -1
+        pos = int(np.searchsorted(self.node_ids, user_id))
+        if pos < n and self.node_ids[pos] == user_id:
+            return pos
+        return -1
+
+    # -- queries ------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.indices)
+
+    def __contains__(self, user_id: int) -> bool:
+        return self._index_of(user_id) >= 0
+
+    def nodes(self) -> Iterator[int]:
+        return iter(self.node_ids.tolist())
+
+    def follows(self, follower: int, followee: int) -> bool:
+        u = self._index_of(follower)
+        v = self._index_of(followee)
+        if u < 0 or v < 0:
+            return False
+        lo, hi = self.indptr[u], self.indptr[u + 1]
+        pos = int(np.searchsorted(self.indices[lo:hi], v))
+        return pos < hi - lo and self.indices[lo + pos] == v
+
+    def followees_of(self, user_id: int) -> np.ndarray:
+        """Users that ``user_id`` follows, as a sorted int64 array view."""
+        u = self._index_of(user_id)
+        if u < 0:
+            return np.empty(0, dtype=np.int64)
+        return self.node_ids[self.indices[self.indptr[u] : self.indptr[u + 1]]]
+
+    def followers_of(self, user_id: int) -> np.ndarray:
+        """Users following ``user_id``, as a sorted int64 array view."""
+        u = self._index_of(user_id)
+        if u < 0:
+            return np.empty(0, dtype=np.int64)
+        return self.node_ids[self.rindices[self.rindptr[u] : self.rindptr[u + 1]]]
+
+    def follower_count(self, user_id: int) -> int:
+        u = self._index_of(user_id)
+        if u < 0:
+            return 0
+        return int(self.rindptr[u + 1] - self.rindptr[u])
+
+    def followee_count(self, user_id: int) -> int:
+        u = self._index_of(user_id)
+        if u < 0:
+            return 0
+        return int(self.indptr[u + 1] - self.indptr[u])
+
+    def degree(self, user_id: int) -> int:
+        return self.follower_count(user_id) + self.followee_count(user_id)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree per node, aligned with ``node_ids`` (O(n), no loop)."""
+        return np.diff(self.rindptr)
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree per node, aligned with ``node_ids``."""
+        return np.diff(self.indptr)
+
+    def total_degrees(self) -> np.ndarray:
+        return self.in_degrees() + self.out_degrees()
+
+    def in_degree_of(self, user_ids: np.ndarray) -> np.ndarray:
+        """Vectorized follower counts for an array of user IDs.
+
+        Unknown IDs get 0, mirroring the scalar :meth:`follower_count`.
+        """
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        degrees = self.in_degrees()
+        n = len(self.node_ids)
+        if self._contiguous:
+            known = (user_ids >= 0) & (user_ids < n)
+            safe = np.where(known, user_ids, 0)
+        else:
+            pos = np.searchsorted(self.node_ids, user_ids)
+            safe = np.minimum(pos, max(n - 1, 0))
+            known = (pos < n) & (self.node_ids[safe] == user_ids) if n else np.zeros(len(user_ids), bool)
+        if n == 0:
+            return np.zeros(len(user_ids), dtype=np.int64)
+        return np.where(known, degrees[safe], 0)
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """All edges as ``(src_ids, dst_ids)`` arrays (CSR order)."""
+        src_idx = np.repeat(
+            np.arange(len(self.node_ids), dtype=np.int64), np.diff(self.indptr)
+        )
+        return self.node_ids[src_idx], self.node_ids[self.indices]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate all ``(follower, followee)`` edges (Python-loop cost)."""
+        src, dst = self.edge_arrays()
+        return zip(src.tolist(), dst.tolist())
+
+    def undirected_neighbors(self, user_id: int) -> set[int]:
+        """Neighbors ignoring edge direction (for clustering/path metrics)."""
+        u = self._index_of(user_id)
+        if u < 0:
+            return set()
+        out = self.indices[self.indptr[u] : self.indptr[u + 1]]
+        inc = self.rindices[self.rindptr[u] : self.rindptr[u + 1]]
+        both = np.union1d(out, inc)
+        return set(self.node_ids[both].tolist())
+
+
+#: Either follow-graph representation; read-only consumers accept both.
+AnyFollowGraph = Union[FollowGraph, CompiledGraph]

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.social.graph import FollowGraph
+from repro.social.graph import AnyFollowGraph, CompiledGraph, FollowGraph
 
 
 @dataclass(frozen=True)
@@ -80,7 +80,33 @@ TABLE2_REFERENCE: dict[str, dict[str, float]] = {
 CLUSTERING_HUB_CUTOFF = 50_000
 
 
-def local_clustering(graph: FollowGraph, node: int) -> float:
+def _node_array(graph: AnyFollowGraph) -> np.ndarray:
+    """All node IDs as an int64 array (zero-copy for compiled graphs)."""
+    if isinstance(graph, CompiledGraph):
+        return graph.node_ids
+    return np.fromiter(graph.nodes(), dtype=np.int64, count=graph.node_count)
+
+
+def _degree_values(graph: AnyFollowGraph, kind: str) -> np.ndarray:
+    """Per-node degrees of the requested ``kind`` ("in"/"out"/"total")."""
+    if isinstance(graph, CompiledGraph):
+        if kind == "in":
+            return graph.in_degrees()
+        if kind == "out":
+            return graph.out_degrees()
+        if kind == "total":
+            return graph.total_degrees()
+        raise ValueError(f"unknown degree kind {kind!r}")
+    if kind == "in":
+        return np.array([graph.follower_count(n) for n in graph.nodes()])
+    if kind == "out":
+        return np.array([graph.followee_count(n) for n in graph.nodes()])
+    if kind == "total":
+        return np.array([graph.degree(n) for n in graph.nodes()])
+    raise ValueError(f"unknown degree kind {kind!r}")
+
+
+def local_clustering(graph: AnyFollowGraph, node: int) -> float:
     """Undirected local clustering coefficient of ``node``."""
     neighbors = graph.undirected_neighbors(node)
     k = len(neighbors)
@@ -103,12 +129,12 @@ def local_clustering(graph: FollowGraph, node: int) -> float:
 
 
 def average_clustering(
-    graph: FollowGraph,
+    graph: AnyFollowGraph,
     rng: np.random.Generator,
     sample_size: int = 1_000,
 ) -> float:
     """Average local clustering over a random node sample."""
-    nodes = np.fromiter(graph.nodes(), dtype=np.int64)
+    nodes = _node_array(graph)
     if len(nodes) == 0:
         return 0.0
     if len(nodes) <= sample_size:
@@ -118,7 +144,7 @@ def average_clustering(
     return float(np.mean([local_clustering(graph, int(node)) for node in sample]))
 
 
-def _bfs_distances(graph: FollowGraph, source: int, cutoff: int = 50) -> dict[int, int]:
+def _bfs_distances(graph: AnyFollowGraph, source: int, cutoff: int = 50) -> dict[int, int]:
     """Undirected BFS distances from ``source`` up to ``cutoff`` hops."""
     distances = {source: 0}
     frontier = deque([source])
@@ -135,7 +161,7 @@ def _bfs_distances(graph: FollowGraph, source: int, cutoff: int = 50) -> dict[in
 
 
 def average_path_length(
-    graph: FollowGraph,
+    graph: AnyFollowGraph,
     rng: np.random.Generator,
     sample_size: int = 50,
 ) -> float:
@@ -145,7 +171,7 @@ def average_path_length(
     convention of the studies Table 2 cites).  Unreachable pairs are
     excluded.
     """
-    nodes = np.fromiter(graph.nodes(), dtype=np.int64)
+    nodes = _node_array(graph)
     if len(nodes) < 2:
         return 0.0
     sources = (
@@ -173,6 +199,48 @@ ASSORTATIVITY_EXACT_MAX_NODES = 50_000
 ASSORTATIVITY_SOURCE_SAMPLE = 20_000
 
 
+def _assortativity_of_arrays(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation of two degree arrays (0.0 when degenerate)."""
+    if len(x) < 2:
+        return 0.0
+    x = x.astype(float)
+    y = y.astype(float)
+    if x.std() == 0 or y.std() == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def _compiled_assortativity(
+    graph: CompiledGraph,
+    rng: np.random.Generator | None,
+    max_exact_nodes: int,
+    source_sample: int,
+) -> float:
+    """Assortativity over CSR arrays: no per-edge Python loop either way."""
+    degrees = graph.total_degrees()
+    if rng is None or graph.node_count <= max_exact_nodes:
+        src_idx = np.repeat(
+            np.arange(graph.node_count, dtype=np.int64), graph.out_degrees()
+        )
+        return _assortativity_of_arrays(degrees[src_idx], degrees[graph.indices])
+    sample_size = min(source_sample, graph.node_count)
+    sources = rng.choice(
+        np.arange(graph.node_count, dtype=np.int64), size=sample_size, replace=False
+    )
+    counts = graph.indptr[sources + 1] - graph.indptr[sources]
+    src_idx = np.repeat(sources, counts)
+    # Ragged gather of every sampled source's out-neighbor slice.
+    total = int(counts.sum())
+    starts = np.zeros(len(sources) + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    offsets = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(starts[:-1], counts)
+        + np.repeat(graph.indptr[sources], counts)
+    )
+    return _assortativity_of_arrays(degrees[src_idx], degrees[graph.indices[offsets]])
+
+
 def _assortativity_over(
     graph: FollowGraph, edge_pairs
 ) -> float:
@@ -190,17 +258,13 @@ def _assortativity_over(
     for follower, followee in edge_pairs:
         source_degrees.append(degree_of(follower))
         target_degrees.append(degree_of(followee))
-    if len(source_degrees) < 2:
-        return 0.0
-    x = np.asarray(source_degrees, dtype=float)
-    y = np.asarray(target_degrees, dtype=float)
-    if x.std() == 0 or y.std() == 0:
-        return 0.0
-    return float(np.corrcoef(x, y)[0, 1])
+    return _assortativity_of_arrays(
+        np.asarray(source_degrees), np.asarray(target_degrees)
+    )
 
 
 def degree_assortativity(
-    graph: FollowGraph,
+    graph: AnyFollowGraph,
     rng: np.random.Generator | None = None,
     max_exact_nodes: int = ASSORTATIVITY_EXACT_MAX_NODES,
     source_sample: int = ASSORTATIVITY_SOURCE_SAMPLE,
@@ -212,10 +276,12 @@ def degree_assortativity(
     out-edges of a uniform source-node sample — every edge has the same
     inclusion probability, so the estimator is unbiased, and the seeded
     rng keeps it deterministic.  Pass ``rng=None`` to force the exact
-    path at any size.
+    path at any size.  Compiled graphs take a fully vectorized path.
     """
+    if isinstance(graph, CompiledGraph):
+        return _compiled_assortativity(graph, rng, max_exact_nodes, source_sample)
     if rng is not None and graph.node_count > max_exact_nodes:
-        nodes = np.fromiter(graph.nodes(), dtype=np.int64)
+        nodes = _node_array(graph)
         sample_size = min(source_sample, len(nodes))
         sources = rng.choice(nodes, size=sample_size, replace=False)
         edge_pairs = (
@@ -228,7 +294,7 @@ def degree_assortativity(
 
 
 def compute_graph_metrics(
-    graph: FollowGraph,
+    graph: AnyFollowGraph,
     rng: np.random.Generator,
     clustering_sample: int = 1_000,
     path_sample: int = 50,
@@ -248,21 +314,14 @@ def compute_graph_metrics(
 
 
 def degree_ccdf(
-    graph: FollowGraph, kind: str = "in"
+    graph: AnyFollowGraph, kind: str = "in"
 ) -> tuple[np.ndarray, np.ndarray]:
     """Complementary CDF of node degree (Figure 7's x-axis spans decades).
 
     Returns ``(degrees, P(D >= degree))`` over the distinct degree values,
     for ``kind`` in {"in", "out", "total"}.
     """
-    if kind == "in":
-        values = np.array([graph.follower_count(n) for n in graph.nodes()])
-    elif kind == "out":
-        values = np.array([graph.followee_count(n) for n in graph.nodes()])
-    elif kind == "total":
-        values = np.array([graph.degree(n) for n in graph.nodes()])
-    else:
-        raise ValueError(f"unknown degree kind {kind!r}")
+    values = _degree_values(graph, kind)
     if len(values) == 0:
         raise ValueError("empty graph")
     values = np.sort(values)
@@ -272,7 +331,7 @@ def degree_ccdf(
 
 
 def estimate_powerlaw_alpha(
-    graph: FollowGraph, kind: str = "in", x_min: int = 5
+    graph: AnyFollowGraph, kind: str = "in", x_min: int = 5
 ) -> float:
     """Discrete MLE power-law exponent of the degree tail.
 
@@ -282,14 +341,7 @@ def estimate_powerlaw_alpha(
     """
     if x_min < 2:
         raise ValueError("x_min must be at least 2")
-    if kind == "in":
-        values = np.array([graph.follower_count(n) for n in graph.nodes()])
-    elif kind == "out":
-        values = np.array([graph.followee_count(n) for n in graph.nodes()])
-    elif kind == "total":
-        values = np.array([graph.degree(n) for n in graph.nodes()])
-    else:
-        raise ValueError(f"unknown degree kind {kind!r}")
+    values = _degree_values(graph, kind)
     tail = values[values >= x_min].astype(float)
     if len(tail) < 10:
         raise ValueError("tail too small to fit")

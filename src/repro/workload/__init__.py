@@ -21,8 +21,10 @@ from repro.workload.trace import (
     TraceConfig,
     TraceGenerator,
     WorkloadTrace,
+    build_follow_graph,
     build_trace_context,
     derived_notification_open_rate,
+    generate_day_columns,
     generate_day_records,
 )
 
@@ -40,7 +42,9 @@ __all__ = [
     "TraceConfig",
     "TraceGenerator",
     "WorkloadTrace",
+    "build_follow_graph",
     "build_trace_context",
     "derived_notification_open_rate",
+    "generate_day_columns",
     "generate_day_records",
 ]

@@ -129,6 +129,73 @@ class BroadcastParamsModel:
             comment_count = 0
         return heart_count, comment_count, commenters
 
+    # -- batched sampling (columnar fast path) -------------------------
+    #
+    # Each method makes a fixed sequence of vectorized rng calls, so the
+    # draw schedule is a pure function of the batch size — the property
+    # the per-day substreams rely on for schedule-independent output.
+
+    def sample_durations(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """``size`` durations in one vectorized draw."""
+        raw = lognormal_from_median(
+            rng, self.duration_median_s, self.duration_sigma, size=size
+        )
+        return np.clip(raw, self.min_duration_s, self.max_duration_s)
+
+    def sample_audiences(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """``size`` audience sizes; draws body and viral tail as batches.
+
+        Unlike the scalar path, the zero/viral/body draws happen for every
+        broadcast and the masks select afterwards — same distribution,
+        fixed draw count.
+        """
+        zero_roll = rng.random(size)
+        viral_possible = self.audience_cap > self.viral_min
+        if viral_possible:
+            viral_roll = rng.random(size)
+            viral_sizes = bounded_pareto(
+                rng, self.viral_alpha, self.viral_min, float(self.audience_cap), size=size
+            )
+        sizes = np.asarray(
+            lognormal_from_median(rng, self.audience_median, self.audience_sigma, size=size)
+        )
+        if viral_possible:
+            sizes = np.where(viral_roll < self.viral_prob, viral_sizes, sizes)
+        audience = np.clip(np.rint(sizes), 1, self.audience_cap).astype(np.int64)
+        audience[zero_roll < self.zero_viewer_prob] = 0
+        return audience
+
+    def sample_engagements(
+        self,
+        rng: np.random.Generator,
+        audience: np.ndarray,
+        mobile_views: np.ndarray,
+        excitement: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched ``(hearts, comments, commenters)`` arrays."""
+        hearts_per_view = np.asarray(
+            lognormal_from_median(
+                rng,
+                self.hearts_per_view_median * excitement,
+                self.hearts_per_view_sigma,
+                size=len(audience),
+            )
+        )
+        heart_count = rng.poisson(audience * hearts_per_view)
+        eligible = np.minimum(mobile_views, self.comment_cap)
+        commenters = rng.binomial(
+            eligible, np.minimum(1.0, self.comment_prob_per_viewer * excitement)
+        )
+        # rng.poisson(0) is 0, so zero-commenter rows get zero comments.
+        comment_count = commenters + rng.poisson(
+            commenters * self.comments_per_commenter_mean * excitement
+        )
+        return (
+            heart_count.astype(np.int64),
+            comment_count.astype(np.int64),
+            commenters.astype(np.int64),
+        )
+
     def sample(self, rng: np.random.Generator) -> BroadcastParams:
         """Sample one broadcast's full parameter set."""
         duration = self.sample_duration(rng)

@@ -32,18 +32,25 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.crawler.dataset import SECONDS_PER_DAY, BroadcastDataset, BroadcastRecord
+from repro.crawler.dataset import (
+    SECONDS_PER_DAY,
+    BroadcastColumns,
+    BroadcastDataset,
+    BroadcastRecord,
+)
 from repro.simulation.distributions import zipf_weights
 from repro.simulation.randomness import RandomStreams, substream_seed
-from repro.social.generation import FollowGraphConfig, generate_follow_graph
-from repro.social.graph import FollowGraph
+from repro.social.generation import FollowGraphConfig, generate_follow_graph_compiled
+from repro.social.graph import AnyFollowGraph, CompiledGraph
 from repro.workload.arrivals import daily_arrival_times
 from repro.workload.broadcast_model import BroadcastParamsModel
 from repro.workload.growth import GrowthModel, MEERKAT_GROWTH, PERISCOPE_GROWTH
 
 #: Bump when the generation algorithm changes in a way that alters output
 #: for a fixed config — it feeds the on-disk dataset cache key.
-TRACE_SCHEMA_VERSION = 2
+#: 3: vectorized graph build + columnar per-day sampling (batched draws
+#: replaced the per-record draw sequence).
+TRACE_SCHEMA_VERSION = 3
 
 #: Realistic notification-open probability at full scale (~2% of a
 #: broadcaster's followers join from the push notification).
@@ -191,7 +198,7 @@ class WorkloadTrace:
 
     config: TraceConfig
     dataset: BroadcastDataset
-    graph: Optional[FollowGraph]
+    graph: Optional[AnyFollowGraph]
     broadcaster_ids: np.ndarray  # pool of user IDs acting as broadcasters
     viewer_ids: np.ndarray  # pool of registered mobile viewer IDs
 
@@ -219,13 +226,36 @@ class ShardContext:
     audience_cap: int
 
 
+#: Sentinel distinguishing "build the graph here" from an explicit
+#: ``graph=None`` (caller already knows there is none).
+_BUILD_GRAPH = object()
+
+
+def build_follow_graph(config: TraceConfig) -> Optional[CompiledGraph]:
+    """The trace's follow graph (or ``None``), from the ``graph`` substream.
+
+    Split out of :func:`build_trace_context` so callers can time — and
+    reuse — the dominant precompute phase separately.
+    """
+    if not config.with_social_graph:
+        return None
+    streams = RandomStreams(config.seed)
+    graph_config = FollowGraphConfig(
+        n_nodes=config.total_users, mean_out_degree=config.graph_mean_out_degree
+    )
+    return generate_follow_graph_compiled(graph_config, streams.get("graph"))
+
+
 def build_trace_context(
     config: TraceConfig,
-) -> tuple[ShardContext, Optional[FollowGraph]]:
+    graph: object = _BUILD_GRAPH,
+) -> tuple[ShardContext, Optional[AnyFollowGraph]]:
     """Deterministic per-run precompute: pools, activity CDFs, graph.
 
     Draws only from the ``trace/{app}/pools`` and ``graph`` substreams, so
     the context is identical no matter how generation is later scheduled.
+    Pass ``graph`` (from :func:`build_follow_graph`) to reuse an already
+    built graph; by default one is built here.
     """
     streams = RandomStreams(config.seed)
     rng = streams.get(f"trace/{config.app_name}/pools")
@@ -238,12 +268,11 @@ def build_trace_context(
     broadcaster_ids = rng.choice(user_ids, size=config.broadcaster_pool, replace=False)
     viewer_ids = rng.choice(user_ids, size=config.viewer_pool, replace=False)
 
-    graph: Optional[FollowGraph] = None
-    if config.with_social_graph:
-        graph_config = FollowGraphConfig(
-            n_nodes=total_users, mean_out_degree=config.graph_mean_out_degree
-        )
-        graph = generate_follow_graph(graph_config, streams.get("graph"))
+    if graph is _BUILD_GRAPH:
+        graph = build_follow_graph(config)
+    if isinstance(graph, CompiledGraph):
+        follower_counts = graph.in_degree_of(broadcaster_ids)
+    elif graph is not None:
         follower_counts = np.fromiter(
             (graph.follower_count(int(b)) for b in broadcaster_ids),
             dtype=np.int64,
@@ -273,29 +302,71 @@ def day_substream_seed(config: TraceConfig, day: int) -> int:
     return substream_seed(config.seed, f"trace/{config.app_name}/day/{day}")
 
 
-def generate_day_records(context: ShardContext, day: int) -> list[BroadcastRecord]:
-    """All broadcasts starting on measurement day ``day``.
+def generate_day_columns(context: ShardContext, day: int) -> BroadcastColumns:
+    """All broadcasts starting on measurement day ``day``, as columns.
 
     A pure function of ``(context.config, day)``: the day draws from its
     own substream, so the result does not depend on which shard or worker
-    runs it.  Broadcast IDs are day-local (1-based) placeholders;
-    :func:`assemble_dataset` re-keys them globally.
+    runs it.  Every random quantity is drawn as one batched call in a
+    fixed order, so the draw schedule depends only on the day's broadcast
+    count.  Broadcast IDs are day-local (1-based) placeholders;
+    :func:`assemble_dataset_columns` re-keys them globally.
     """
     config = context.config
+    params_model = config.params
     rng = np.random.default_rng(day_substream_seed(config, day))
     expected = config.growth.broadcasts_on(day) * config.scale
     offsets = daily_arrival_times(rng, expected)
-    records: list[BroadcastRecord] = []
-    for local_id, offset in enumerate(offsets, start=1):
-        records.append(
-            _sample_record(
-                context,
-                rng=rng,
-                broadcast_id=local_id,
-                start_time=day * SECONDS_PER_DAY + float(offset),
-            )
-        )
-    return records
+    n = len(offsets)
+
+    rank = np.searchsorted(context.broadcaster_cdf, rng.random(n))
+    durations = params_model.sample_durations(rng, n)
+    organic = np.minimum(params_model.sample_audiences(rng, n), context.audience_cap)
+
+    # Follower notifications add audience on top of organic discovery
+    # (Figure 7: followers vs viewers correlation).
+    followers = context.follower_counts[rank]
+    notified = rng.binomial(followers, config.effective_notification_open_rate)
+    audience = np.minimum(organic + notified, context.audience_cap)
+
+    excitement = rng.lognormal(mean=0.0, sigma=0.6, size=n)
+    web_views = rng.binomial(audience, params_model.web_view_fraction)
+    mobile_views = (audience - web_views).astype(np.int64)
+    hearts, comments, commenters = params_model.sample_engagements(
+        rng, audience, mobile_views, excitement
+    )
+
+    # Assign mobile views to registered viewers (Zipf-skewed activity).
+    viewer_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(mobile_views, out=viewer_indptr[1:])
+    viewer_ranks = np.searchsorted(
+        context.viewer_cdf, rng.random(int(viewer_indptr[-1]))
+    )
+
+    return BroadcastColumns(
+        app_name=config.app_name,
+        broadcast_id=np.arange(1, n + 1, dtype=np.int64),
+        broadcaster_id=context.broadcaster_ids[rank],
+        start_time=day * SECONDS_PER_DAY + offsets,
+        duration_s=durations,
+        web_views=web_views.astype(np.int64),
+        heart_count=hearts,
+        comment_count=comments,
+        commenter_count=commenters,
+        # The crawl only ever sees public broadcasts (private ones are
+        # absent from the global list), so the growth curves — which are
+        # calibrated to the paper's *observed* volumes — already describe
+        # public broadcasts only.
+        is_private=np.zeros(n, dtype=bool),
+        broadcaster_followers=followers,
+        viewer_indptr=viewer_indptr,
+        viewer_ids=context.viewer_ids[viewer_ranks],
+    )
+
+
+def generate_day_records(context: ShardContext, day: int) -> list[BroadcastRecord]:
+    """Record-object view of :func:`generate_day_columns` (same draws)."""
+    return generate_day_columns(context, day).to_records()
 
 
 def assemble_dataset(
@@ -321,63 +392,23 @@ def assemble_dataset(
     return dataset
 
 
-def _sample_record(
-    context: ShardContext,
-    rng: np.random.Generator,
-    broadcast_id: int,
-    start_time: float,
-) -> BroadcastRecord:
-    config = context.config
-    params_model = config.params
+def assemble_dataset_columns(
+    config: TraceConfig, day_columns: Iterable[BroadcastColumns]
+) -> BroadcastDataset:
+    """Columnar :func:`assemble_dataset`: concatenate, argsort, re-key.
 
-    rank = int(np.searchsorted(context.broadcaster_cdf, rng.random()))
-    broadcaster = int(context.broadcaster_ids[rank])
-
-    duration = params_model.sample_duration(rng)
-    organic = params_model.sample_audience(rng)
-    organic = min(organic, context.audience_cap)
-
-    # Follower notifications add audience on top of organic discovery
-    # (Figure 7: followers vs viewers correlation).
-    followers = int(context.follower_counts[rank])
-    notified_joins = (
-        int(rng.binomial(followers, config.effective_notification_open_rate))
-        if followers
-        else 0
-    )
-    audience = min(organic + notified_joins, context.audience_cap)
-
-    excitement = float(rng.lognormal(mean=0.0, sigma=0.6))
-    web_views = int(rng.binomial(audience, params_model.web_view_fraction)) if audience else 0
-    mobile_views = audience - web_views
-    hearts, comments, commenters = params_model.sample_engagement(
-        audience, mobile_views, excitement, rng
-    )
-
-    # Assign mobile views to registered viewers (Zipf-skewed activity).
-    if mobile_views:
-        ranks = np.searchsorted(context.viewer_cdf, rng.random(mobile_views))
-        mobile_ids = context.viewer_ids[ranks]
-    else:
-        mobile_ids = np.empty(0, dtype=np.int64)
-
-    return BroadcastRecord(
-        broadcast_id=broadcast_id,
-        broadcaster_id=broadcaster,
-        app_name=config.app_name,
-        start_time=start_time,
-        duration_s=duration,
-        viewer_ids=mobile_ids,
-        web_views=web_views,
-        heart_count=hearts,
-        comment_count=comments,
-        commenter_count=commenters,
-        # The crawl only ever sees public broadcasts (private ones are
-        # absent from the global list), so the growth curves — which
-        # are calibrated to the paper's *observed* volumes — already
-        # describe public broadcasts only.
-        is_private=False,
-        broadcaster_followers=followers,
+    Sorting by ``(start_time, day-local broadcast_id)`` orders rows
+    exactly like the record path — start times of different days can
+    never tie (day offsets are strictly below one day), so the day-local
+    IDs only break ties within a day, where the keys agree.
+    """
+    combined = BroadcastColumns.concat(list(day_columns))
+    order = np.lexsort((combined.broadcast_id, combined.start_time))
+    if not np.array_equal(order, np.arange(len(order))):
+        combined = combined.take(order)
+    combined.broadcast_id = np.arange(1, len(combined) + 1, dtype=np.int64)
+    return BroadcastDataset.from_columns(
+        app_name=config.app_name, days=config.growth.days, columns=combined
     )
 
 

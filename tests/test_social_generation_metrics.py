@@ -5,8 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.social.generation import FollowGraphConfig, generate_follow_graph
-from repro.social.graph import FollowGraph
+from repro.social.generation import (
+    FollowGraphConfig,
+    generate_follow_graph,
+    generate_follow_graph_compiled,
+)
+from repro.social.graph import CompiledGraph, FollowGraph
 from repro.social.metrics import (
     TABLE2_REFERENCE,
     average_clustering,
@@ -49,6 +53,30 @@ class TestGeneration:
     def test_no_self_loops(self, rng):
         graph = generate_follow_graph(FollowGraphConfig(n_nodes=400), rng)
         assert all(u != v for u, v in graph.edges())
+
+    # Edge counts for fixed (config, seed) pairs.  These pin the triadic
+    # closure step to snapshot semantics: closures in a chunk pick "via"
+    # and target nodes from the adjacency frozen *before* the chunk, never
+    # from edges added inside it.  A rewrite that lets the hot loop read
+    # its own writes shifts the closure targets and changes these counts.
+    EDGE_COUNT_PINS = [(500, 7, 6766), (2000, 11, 37189)]
+
+    @pytest.mark.parametrize("n_nodes,seed,expected_edges", EDGE_COUNT_PINS)
+    def test_edge_counts_pinned_for_fixed_seed(self, n_nodes, seed, expected_edges):
+        config = FollowGraphConfig(n_nodes=n_nodes)
+        compiled = generate_follow_graph_compiled(config, np.random.default_rng(seed))
+        assert compiled.edge_count == expected_edges
+        mutable = generate_follow_graph(config, np.random.default_rng(seed))
+        assert mutable.edge_count == expected_edges
+
+    def test_compiled_and_mutable_paths_agree(self):
+        config = FollowGraphConfig(n_nodes=400)
+        compiled = generate_follow_graph_compiled(config, np.random.default_rng(3))
+        mutable = generate_follow_graph(config, np.random.default_rng(3))
+        assert isinstance(compiled, CompiledGraph)
+        assert set(compiled.edges()) == set(mutable.edges())
+        for node in mutable.nodes():
+            assert compiled.follower_count(node) == mutable.follower_count(node)
 
     def test_config_validation(self):
         with pytest.raises(ValueError):

@@ -18,7 +18,10 @@ Modes:
 The recorded speedup is only meaningful relative to ``cpu_count`` (also
 recorded): on a single-core runner the parallel mode measures pure
 process-pool overhead; on a 4-core runner the record stage parallelizes
-near-linearly.
+near-linearly.  At scales below the serial-fallback floor the "parallel"
+mode deliberately collapses to the in-process walk
+(``parallel_workers_used`` records what actually ran), so tiny scales
+measure the fallback's parity with serial rather than pool overhead.
 """
 
 from __future__ import annotations
@@ -30,10 +33,11 @@ import time
 from pathlib import Path
 
 from repro.crawler.storage import dataset_to_bytes
-from repro.parallel import generate_dataset
+from repro.parallel import generate_dataset, plan_shards
+from repro.parallel.generate import effective_workers
 from repro.workload.trace import TraceConfig, build_follow_graph, build_trace_context
 
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 BENCH_WORKERS = 4
 FULL_SCALES = (0.001, 0.01, 0.05)
 SMOKE_SCALES = (0.001,)
@@ -46,7 +50,15 @@ def bench_output_path() -> Path:
     return Path(os.environ.get("BENCH_TRACE_OUT", REPO_ROOT / "BENCH_trace.json"))
 
 
-REQUIRED_TOP_KEYS = {"benchmark", "schema_version", "cpu_count", "workers", "smoke", "results"}
+REQUIRED_TOP_KEYS = {
+    "benchmark",
+    "schema_version",
+    "cpu_count",
+    "workers",
+    "transport",
+    "smoke",
+    "results",
+}
 REQUIRED_RESULT_KEYS = {
     "scale",
     "broadcasts",
@@ -54,6 +66,7 @@ REQUIRED_RESULT_KEYS = {
     "context_seconds",
     "serial_seconds",
     "parallel_seconds",
+    "parallel_workers_used",
     "serial_broadcasts_per_sec",
     "parallel_broadcasts_per_sec",
     "speedup",
@@ -67,6 +80,11 @@ def validate_bench_payload(payload: dict) -> None:
         raise ValueError(f"BENCH_trace.json missing keys: {sorted(missing)}")
     if payload["benchmark"] != "trace_scale":
         raise ValueError(f"unexpected benchmark id {payload['benchmark']!r}")
+    if payload["schema_version"] != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"stale BENCH_trace.json schema {payload['schema_version']!r} "
+            f"(expected {BENCH_SCHEMA_VERSION}); regenerate the baseline"
+        )
     if not payload["results"]:
         raise ValueError("BENCH_trace.json has no results")
     for row in payload["results"]:
@@ -100,6 +118,14 @@ def _measure(scale: float) -> dict:
     # Same precompute is valid for the parallel config: the context only
     # depends on generation inputs, never on the schedule knobs.
     parallel_context = dataclasses.replace(context, config=parallel_config)
+    n_shards = len(
+        plan_shards(
+            parallel_config.growth.days,
+            shards=parallel_config.shards,
+            workers=parallel_config.workers,
+        )
+    )
+    workers_used = effective_workers(parallel_config, n_shards)
     started = time.perf_counter()
     parallel = generate_dataset(parallel_config, parallel_context)
     parallel_seconds = time.perf_counter() - started
@@ -114,6 +140,7 @@ def _measure(scale: float) -> dict:
         "context_seconds": round(context_seconds, 3),
         "serial_seconds": round(serial_seconds, 3),
         "parallel_seconds": round(parallel_seconds, 3),
+        "parallel_workers_used": workers_used,
         "serial_broadcasts_per_sec": round(len(serial) / serial_seconds, 1),
         "parallel_broadcasts_per_sec": round(len(parallel) / parallel_seconds, 1),
         "speedup": round(serial_seconds / parallel_seconds, 2),
@@ -129,6 +156,7 @@ def test_trace_scale_benchmark():
         "schema_version": BENCH_SCHEMA_VERSION,
         "cpu_count": os.cpu_count() or 1,
         "workers": BENCH_WORKERS,
+        "transport": os.environ.get("REPRO_TRACE_TRANSPORT", "mmap"),
         "smoke": smoke,
         "results": [_measure(scale) for scale in scales],
     }

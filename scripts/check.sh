@@ -30,20 +30,22 @@ from benchmarks.test_trace_scale import validate_bench_payload
 
 def check(path, payload):
     validate_bench_payload(payload)
-    # Parallel generation must actually beat serial — but only where the
-    # comparison is meaningful: at toy scales pool startup dominates, and
-    # on a single core "parallel" measures pure scheduling overhead.
+    # Parallel generation must be >= serial at EVERY scale on a
+    # multi-core runner: at toy scales the serial fallback keeps the
+    # "parallel" mode in-process (parity by construction), above it the
+    # pool must genuinely win.  A 10% + 0.1s band absorbs timer noise on
+    # the sub-second rows.  On a single core "parallel" measures pure
+    # scheduling overhead, so the gate logs a skip.
     for row in payload["results"]:
-        gated = row["scale"] >= 0.01 and payload["cpu_count"] >= 2
-        if not gated:
-            why = ("single core" if payload["cpu_count"] < 2
-                   else f"scale {row['scale']:g} < 0.01")
-            print(f"{path}: speed gate skipped at scale {row['scale']:g} ({why})")
+        if payload["cpu_count"] < 2:
+            print(f"{path}: speed gate skipped at scale {row['scale']:g} (single core)")
             continue
-        if row["parallel_seconds"] > row["serial_seconds"]:
+        budget = row["serial_seconds"] * 1.10 + 0.1
+        if row["parallel_seconds"] > budget:
             raise SystemExit(
                 f"{path}: parallel slower than serial at scale {row['scale']:g}: "
                 f"{row['parallel_seconds']}s > {row['serial_seconds']}s "
+                f"(workers used: {row['parallel_workers_used']}) "
                 f"on {payload['cpu_count']} cores"
             )
     row = payload["results"][0]

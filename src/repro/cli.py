@@ -80,11 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="on-disk dataset cache for the 'trace' target (keyed by config hash)",
     )
     parser.add_argument(
-        "--cache-format", choices=("v1", "v2"), default="v2",
+        "--cache-format", choices=("v1", "v2", "mmap"), default="v2",
         help=(
             "serialization for new 'trace' cache entries: v2 binary "
-            "columnar (default) or v1 gzipped JSONL; both store identical "
-            "datasets and either cache reads the other's files"
+            "columnar (default), v1 gzipped JSONL, or mmap uncompressed "
+            "page-aligned columns (opened zero-copy); all store identical "
+            "datasets and every cache reads the others' files"
         ),
     )
     parser.add_argument(
@@ -179,9 +180,10 @@ def _render_trace(args: argparse.Namespace) -> str:
         if gauge_name in gauges:
             lines.append(f"phase {label:<9} {gauges[gauge_name]['value']:.2f}s")
     if cache_hit:
+        # A hit may have been served by any format's entry (cross-format
+        # fall-through), so don't claim the requested format here.
         lines.append(
-            f"dataset cache   hit ({args.cache_dir}, key {config.cache_key()}, "
-            f"format {args.cache_format})"
+            f"dataset cache   hit ({args.cache_dir}, key {config.cache_key()})"
         )
     elif args.cache_dir:
         lines.append(

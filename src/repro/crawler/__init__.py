@@ -24,6 +24,7 @@ from repro.crawler.global_list import CrawlerAccount, GlobalListCrawler
 from repro.crawler.broadcast_monitor import BroadcastMonitor
 from repro.crawler.delay_crawler import ChunkObservation, DelayCrawler, FrameObservation
 from repro.crawler.graph_crawler import FollowGraphCrawler, GraphApi, GraphCrawl
+from repro.crawler.arrayfile import read_arrays, write_arrays
 from repro.crawler.storage import (
     DatasetCache,
     dataset_from_bytes,
@@ -31,8 +32,10 @@ from repro.crawler.storage import (
     dataset_to_bytes,
     dataset_to_columnar_bytes,
     load_dataset,
+    load_dataset_mapped,
     load_traces,
     save_dataset,
+    save_dataset_mapped,
     save_traces,
 )
 
@@ -59,6 +62,10 @@ __all__ = [
     "dataset_from_columnar_bytes",
     "save_dataset",
     "load_dataset",
+    "save_dataset_mapped",
+    "load_dataset_mapped",
     "save_traces",
     "load_traces",
+    "read_arrays",
+    "write_arrays",
 ]

@@ -1,0 +1,155 @@
+"""Page-aligned, memory-mappable array bundles (the zero-copy format).
+
+One tiny on-disk format serves three jobs:
+
+* shipping the frozen :class:`~repro.workload.trace.ShardContext` to
+  generation workers (:mod:`repro.parallel.generate`) — the parent
+  writes the context's arrays once and every worker attaches read-only
+  ``np.memmap`` views instead of unpickling megabyte buffers through
+  ``initargs``,
+* returning shard output — workers write their day columns to per-shard
+  files and the parent maps them back, so the process boundary costs a
+  header parse and page mappings, not a pickle of every column,
+* the uncompressed ``mmap`` dataset-cache format and the follow-graph
+  cache (:mod:`repro.crawler.storage`, :mod:`repro.parallel.generate`),
+  which let paper-scale datasets stream from disk instead of living in
+  RAM.
+
+Layout: one JSON header line (format tag, page size, per-array name /
+dtype / shape / relative offset, caller metadata), space-padded to a
+page boundary, followed by each array's raw little-endian bytes at
+page-aligned offsets.  Writes are deterministic — no timestamps, no
+environment — so identical arrays always produce identical files, which
+the byte-identity suite relies on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+#: Alignment for the header block and every array block.  4 KiB covers
+#: every mainstream page size except Apple Silicon's 16 KiB — alignment
+#: is a performance nicety, not a correctness requirement, because
+#: ``np.memmap`` re-aligns offsets to ``mmap.ALLOCATIONGRANULARITY``.
+PAGE_SIZE = 4096
+
+ARRAY_FILE_VERSION = 1
+_MAGIC = "repro-arrays"
+
+
+def _aligned(n: int) -> int:
+    return (n + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
+
+
+def _disk_dtype(array: np.ndarray) -> np.dtype:
+    """The on-disk dtype: little-endian, never objects."""
+    if array.dtype.hasobject:
+        raise ValueError(f"cannot store object arrays (dtype {array.dtype})")
+    return array.dtype.newbyteorder("<") if array.dtype.byteorder == ">" else array.dtype
+
+
+def write_arrays(
+    path: PathLike,
+    arrays: Mapping[str, np.ndarray],
+    meta: Optional[dict] = None,
+) -> None:
+    """Write named arrays as one page-aligned, mappable file.
+
+    Insertion order of ``arrays`` is preserved; the write is
+    byte-deterministic for fixed inputs.
+    """
+    entries = []
+    blocks = []
+    offset = 0
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        dtype = _disk_dtype(array)
+        array = array.astype(dtype, copy=False)
+        entries.append(
+            {
+                "name": str(name),
+                "dtype": dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+            }
+        )
+        blocks.append(array)
+        offset += _aligned(array.nbytes)
+
+    header = {
+        "format": _MAGIC,
+        "format_version": ARRAY_FILE_VERSION,
+        "page_size": PAGE_SIZE,
+        "data_size": offset,
+        "meta": meta or {},
+        "arrays": entries,
+    }
+    encoded = json.dumps(header, sort_keys=True, separators=(",", ":")).encode("ascii")
+    # Pad the header line itself to a page boundary: readers take the
+    # first line, json ignores the trailing spaces, and the data section
+    # starts exactly at ``len(first line)``.
+    header_line = encoded + b" " * (_aligned(len(encoded) + 1) - len(encoded) - 1) + b"\n"
+
+    with open(path, "wb") as handle:
+        handle.write(header_line)
+        for entry, array in zip(entries, blocks):
+            handle.write(array.tobytes())
+            handle.write(b"\x00" * (_aligned(array.nbytes) - array.nbytes))
+
+
+def read_arrays(path: PathLike) -> tuple[dict[str, np.ndarray], dict]:
+    """Map a :func:`write_arrays` file back as read-only array views.
+
+    Returns ``(arrays, meta)``.  Arrays are ``np.memmap`` views (zero
+    copy); on POSIX they stay valid even if the file is later unlinked.
+    Raises ``ValueError`` on any structural mismatch — wrong magic or
+    version, truncation, or trailing bytes.
+    """
+    path = Path(path)
+    with path.open("rb") as handle:
+        header_line = handle.readline()
+    if not header_line.endswith(b"\n"):
+        raise ValueError(f"{path}: truncated array-file header")
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: malformed array-file header: {error}") from None
+    if not isinstance(header, dict) or header.get("format") != _MAGIC:
+        raise ValueError(f"{path}: not a {_MAGIC} file")
+    if header.get("format_version") != ARRAY_FILE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported array-file version {header.get('format_version')!r}"
+        )
+
+    data_start = len(header_line)
+    expected = data_start + int(header["data_size"])
+    actual = path.stat().st_size
+    if actual < expected:
+        raise ValueError(f"{path}: truncated array file ({actual} < {expected} bytes)")
+    if actual > expected:
+        raise ValueError(f"{path}: trailing bytes after arrays ({actual} > {expected})")
+
+    arrays: dict[str, np.ndarray] = {}
+    for entry in header["arrays"]:
+        dtype = np.dtype(entry["dtype"])
+        if dtype.hasobject:
+            raise ValueError(f"{path}: refusing object dtype {entry['dtype']!r}")
+        shape = tuple(int(dim) for dim in entry["shape"])
+        count = math.prod(shape)
+        start = data_start + int(entry["offset"])
+        if start + count * dtype.itemsize > expected:
+            raise ValueError(f"{path}: array {entry['name']!r} overruns the file")
+        if count == 0:
+            arrays[entry["name"]] = np.empty(shape, dtype=dtype)
+        else:
+            arrays[entry["name"]] = np.memmap(
+                path, dtype=dtype, mode="r", offset=start, shape=shape
+            )
+    return arrays, header.get("meta", {})

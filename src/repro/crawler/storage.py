@@ -28,6 +28,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.core.pipeline import BroadcastTrace
+from repro.crawler.arrayfile import read_arrays, write_arrays
 from repro.crawler.dataset import BroadcastColumns, BroadcastDataset, BroadcastRecord
 
 PathLike = Union[str, Path]
@@ -211,12 +212,98 @@ def load_dataset(path: PathLike) -> BroadcastDataset:
 
 _CACHE_KEY_RE = re.compile(r"^[A-Za-z0-9._-]{1,100}$")
 
+_MAPPED_FORMAT = "broadcast-dataset"
 
-#: Cache serialization formats: file suffix, serializer, deserializer.
+
+def save_dataset_mapped(dataset: BroadcastDataset, path: PathLike) -> None:
+    """Write a dataset as an uncompressed, memory-mappable column file.
+
+    Same logical schema as v2 (:data:`_COLUMN_LAYOUT`), but raw
+    page-aligned little-endian columns behind a JSON header line instead
+    of a gzip stream — :func:`load_dataset_mapped` opens it zero-copy
+    with ``np.memmap``, so a paper-scale dataset streams from the page
+    cache instead of being inflated into RAM.  Deterministic bytes, like
+    the other formats.
+    """
+    columns = dataset.columns
+    if columns is None:
+        columns = BroadcastColumns.from_records(dataset.app_name, dataset.records)
+    write_arrays(
+        path,
+        {field: np.ascontiguousarray(getattr(columns, field), dtype=dtype)
+         for field, dtype in _COLUMN_LAYOUT},
+        meta={
+            "format": _MAPPED_FORMAT,
+            "format_version": _COLUMNS_FORMAT_VERSION,
+            "app_name": dataset.app_name,
+            "days": dataset.days,
+            "record_count": len(columns),
+            "viewer_count": len(columns.viewer_ids),
+        },
+    )
+
+
+def load_dataset_mapped(path: PathLike) -> BroadcastDataset:
+    """Open a :func:`save_dataset_mapped` file as a mapped-column dataset.
+
+    The returned dataset's columns are read-only ``np.memmap`` views; on
+    POSIX they stay valid even if the file is unlinked afterwards.
+    """
+    arrays, meta = read_arrays(path)
+    if meta.get("format") != _MAPPED_FORMAT:
+        raise ValueError(f"{path}: not a mapped broadcast dataset")
+    version = meta.get("format_version")
+    if version != _COLUMNS_FORMAT_VERSION:
+        raise ValueError(f"{path}: unsupported format version {version}")
+    expected = {field for field, _ in _COLUMN_LAYOUT}
+    if set(arrays) != expected:
+        raise ValueError(f"{path}: column set mismatch")
+    columns = BroadcastColumns(app_name=meta["app_name"], **arrays)
+    if len(columns) != int(meta["record_count"]):
+        raise ValueError(f"{path}: truncated dataset (record count mismatch)")
+    if len(columns.viewer_ids) != int(meta["viewer_count"]):
+        raise ValueError(f"{path}: truncated dataset (viewer count mismatch)")
+    return BroadcastDataset.from_columns(
+        app_name=meta["app_name"], days=meta["days"], columns=columns
+    )
+
+
+def _save_v1(dataset: BroadcastDataset, path: Path) -> None:
+    path.write_bytes(dataset_to_bytes(dataset))
+
+
+def _load_v1(path: Path) -> BroadcastDataset:
+    return dataset_from_bytes(path.read_bytes(), source=str(path))
+
+
+def _save_v2(dataset: BroadcastDataset, path: Path) -> None:
+    path.write_bytes(dataset_to_columnar_bytes(dataset))
+
+
+def _load_v2(path: Path) -> BroadcastDataset:
+    return dataset_from_columnar_bytes(path.read_bytes(), source=str(path))
+
+
+#: Cache serialization formats: file suffix, writer(dataset, path),
+#: reader(path).  ``mmap`` entries are opened zero-copy via ``np.memmap``.
 _CACHE_FORMATS = {
-    "v1": (".jsonl.gz", dataset_to_bytes, dataset_from_bytes),
-    "v2": (".cols.gz", dataset_to_columnar_bytes, dataset_from_columnar_bytes),
+    "v1": (".jsonl.gz", _save_v1, _load_v1),
+    "v2": (".cols.gz", _save_v2, _load_v2),
+    "mmap": (".cols", save_dataset_mapped, load_dataset_mapped),
 }
+
+#: Stale atomic-write temp files: ``<entry name>.tmp<pid>``.
+_TEMP_RE = re.compile(r"\.tmp(\d+)$")
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
 
 
 class DatasetCache:
@@ -227,14 +314,18 @@ class DatasetCache:
     that does not, like worker counts) — so figure experiments across
     processes reuse one generation.  Writes are atomic (temp file +
     ``os.replace``) so a crashed run never leaves a truncated entry that
-    a later run would trip over.
+    a later run would trip over; temp files orphaned by a killed writer
+    are swept on cache construction (only when their recorded pid is no
+    longer alive, so concurrent writers are never disturbed).
 
     ``fmt`` picks the serialization for new entries: ``"v2"`` (default)
-    is the binary columnar format, ``"v1"`` gzipped JSONL.  A v2 cache
-    still reads entries a v1 cache wrote (and vice versa): on a miss in
-    its own format, ``get`` falls back to the other format's file.  An
-    entry whose embedded format version does not match its reader is
-    treated as a miss and removed, like any other corrupt entry.
+    is the binary columnar format, ``"v1"`` gzipped JSONL, ``"mmap"``
+    uncompressed page-aligned columns opened zero-copy with
+    ``np.memmap``.  Every cache reads entries any format wrote: on a
+    miss (or a corrupt entry) in its own format, ``get`` falls through
+    to the other formats' files.  An entry whose embedded format version
+    does not match its reader is treated as a miss and removed, like any
+    other corrupt entry.
     """
 
     def __init__(self, root: PathLike, fmt: str = "v2") -> None:
@@ -245,6 +336,14 @@ class DatasetCache:
         self.root = Path(root)
         self.fmt = fmt
         self.root.mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_temps()
+
+    def _sweep_stale_temps(self) -> None:
+        """Remove atomic-write leftovers whose writer process is gone."""
+        for path in self.root.glob("trace-*.tmp*"):
+            match = _TEMP_RE.search(path.name)
+            if match and not _pid_alive(int(match.group(1))):
+                path.unlink(missing_ok=True)
 
     def path_for(self, key: str, fmt: Optional[str] = None) -> Path:
         if not _CACHE_KEY_RE.match(key):
@@ -252,46 +351,71 @@ class DatasetCache:
         suffix, _, _ = _CACHE_FORMATS[fmt or self.fmt]
         return self.root / f"trace-{key}{suffix}"
 
+    def _formats_for(self, key: str):
+        """(fmt, path) probe order: own format first, then the others."""
+        for fmt in dict.fromkeys((self.fmt, *sorted(_CACHE_FORMATS))):
+            yield fmt, self.path_for(key, fmt)
+
     def get(self, key: str) -> Optional[BroadcastDataset]:
         """The cached dataset for ``key``, or ``None`` on a miss.
 
-        A corrupt entry is treated as a miss and removed, so the caller
-        regenerates and overwrites it.  That covers a truncated gzip stream
-        (``EOFError`` — e.g. a file cut mid-byte by a non-atomic writer or a
-        full disk), corrupted deflate data (``zlib.error``), a bad gzip
-        header (``gzip.BadGzipFile``, an ``OSError``), malformed or
-        incomplete payloads (``ValueError``/``KeyError``), and a format
-        version the reader does not understand.
+        A corrupt entry is treated as a miss and removed — and the probe
+        *falls through* to the other formats' files, so a corrupt entry
+        in the preferred format never masks a valid one in a fallback
+        format.  Corruption covers a truncated gzip stream (``EOFError``
+        — e.g. a file cut mid-byte by a non-atomic writer or a full
+        disk), corrupted deflate data (``zlib.error``), a bad gzip header
+        (``gzip.BadGzipFile``, an ``OSError``), malformed or incomplete
+        payloads (``ValueError``/``KeyError``), and a format version the
+        reader does not understand.
         """
-        for fmt in dict.fromkeys((self.fmt, *sorted(_CACHE_FORMATS))):
-            path = self.path_for(key, fmt)
+        for fmt, path in self._formats_for(key):
             if not path.exists():
                 continue
-            _, _, deserialize = _CACHE_FORMATS[fmt]
+            _, _, load = _CACHE_FORMATS[fmt]
             try:
-                return deserialize(path.read_bytes(), source=str(path))
+                return load(path)
             except (ValueError, OSError, EOFError, zlib.error, KeyError):
                 path.unlink(missing_ok=True)
-                return None
+                continue
         return None
 
     def put(self, key: str, dataset: BroadcastDataset) -> Path:
-        """Store ``dataset`` under ``key``; returns the entry's path."""
+        """Store ``dataset`` under ``key``; returns the entry's path.
+
+        The write is atomic, and the temp file is removed even when
+        serialization fails mid-write.
+        """
         path = self.path_for(key)
-        _, serialize, _ = _CACHE_FORMATS[self.fmt]
+        _, save, _ = _CACHE_FORMATS[self.fmt]
         temp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
-        temp.write_bytes(serialize(dataset))
-        os.replace(temp, path)
+        try:
+            save(dataset, temp)
+            os.replace(temp, path)
+        finally:
+            temp.unlink(missing_ok=True)
         return path
 
     def __contains__(self, key: str) -> bool:
-        return any(
-            self.path_for(key, fmt).exists() for fmt in _CACHE_FORMATS
-        )
+        """True only for keys :meth:`get` would actually return.
+
+        Aligned with ``get`` semantics — the entry is fully loaded (and a
+        corrupt file removed) rather than merely stat'ed, so callers can
+        never skip regeneration on a poisoned key.  Use
+        :meth:`path_for(...).exists() <path_for>` for a cheap
+        existence-only probe.
+        """
+        return self.get(key) is not None
 
 
 def save_traces(traces: list[BroadcastTrace], path: PathLike) -> None:
-    """Write delay-crawl traces to a compressed ``.npz`` bundle."""
+    """Write delay-crawl traces to a compressed ``.npz`` bundle.
+
+    Broadcast IDs are integers and go into their own int64 array —
+    packing them into the float64 ``meta`` block would silently corrupt
+    IDs above 2**53.  The ``meta`` block keeps a float copy of the ID in
+    column 0 so bundles stay readable by the previous loader.
+    """
     if not traces:
         raise ValueError("no traces to save")
     arrays: dict[str, np.ndarray] = {
@@ -301,7 +425,8 @@ def save_traces(traces: list[BroadcastTrace], path: PathLike) -> None:
                 for t in traces
             ],
             dtype=np.float64,
-        )
+        ),
+        "broadcast_ids": np.array([t.broadcast_id for t in traces], dtype=np.int64),
     }
     for index, trace in enumerate(traces):
         arrays[f"frames_{index}"] = trace.frame_arrivals
@@ -311,15 +436,23 @@ def save_traces(traces: list[BroadcastTrace], path: PathLike) -> None:
 
 
 def load_traces(path: PathLike) -> list[BroadcastTrace]:
-    """Read traces written by :func:`save_traces`."""
+    """Read traces written by :func:`save_traces`.
+
+    Bundles written before the dedicated ``broadcast_ids`` array existed
+    fall back to the (float64) ID column in ``meta``.
+    """
     with np.load(Path(path)) as bundle:
         meta = bundle["meta"]
+        if "broadcast_ids" in bundle:
+            broadcast_ids = bundle["broadcast_ids"].astype(np.int64)
+        else:
+            broadcast_ids = meta[:, 0].astype(np.int64)
         traces = []
         for index in range(len(meta)):
-            broadcast_id, duration_s, chunk_duration_s, frame_interval_s = meta[index]
+            _legacy_id, duration_s, chunk_duration_s, frame_interval_s = meta[index]
             traces.append(
                 BroadcastTrace(
-                    broadcast_id=int(broadcast_id),
+                    broadcast_id=int(broadcast_ids[index]),
                     duration_s=float(duration_s),
                     frame_arrivals=bundle[f"frames_{index}"],
                     chunk_ready=bundle[f"ready_{index}"],

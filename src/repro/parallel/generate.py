@@ -10,15 +10,23 @@ module fans generation out over a :class:`~concurrent.futures.ProcessPoolExecuto
 * every day draws from its own seed-derived substream, so results are
   schedule-independent — ``workers=1`` and ``workers=N`` produce
   byte-identical datasets for the same config,
-* workers return packed :class:`~repro.crawler.dataset.BroadcastColumns`
-  (a dozen numpy arrays per day) instead of pickled record objects, so
-  the process-boundary cost is a few buffer copies,
+* the frozen :class:`~repro.workload.trace.ShardContext` ships to workers
+  through a page-aligned mmap'd file (:mod:`repro.crawler.arrayfile`) that
+  each worker attaches read-only — no per-process unpickling of the pool
+  and CDF buffers — and workers return their day columns the same way,
+  through per-shard array files the parent maps back (the legacy
+  ``transport="pickle"`` path is kept for comparison and testing),
+* workloads too small to amortize pool startup fall back to the
+  in-process walk (``MIN_BROADCASTS_PER_WORKER``) — the fallback only
+  changes scheduling, never bytes,
 * shard outputs are merged with a stable argsort on
   ``(start_time, broadcast_id)`` and globally re-keyed IDs
   (:func:`repro.workload.trace.assemble_dataset_columns`),
 * an optional on-disk cache (:class:`repro.crawler.storage.DatasetCache`,
   keyed by :meth:`TraceConfig.cache_key`) lets figure experiments reuse
-  generated traces across processes.
+  generated traces across processes.  The cache is probed *before* any
+  precompute, so a hit costs a read, not a graph build; the follow graph
+  itself is cached next to the datasets as a mappable array file.
 
 Per-phase wall times (graph build, context, generation, merge), shard
 timings, and cache traffic are published through the :mod:`repro.obs`
@@ -27,13 +35,19 @@ registry passed in (no-op by default).
 
 from __future__ import annotations
 
+import hashlib
+import os
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
+from itertools import repeat
 from pathlib import Path
 from typing import Optional, Union
 
 from repro.obs import NULL_REGISTRY
+from repro.crawler.arrayfile import read_arrays, write_arrays
 from repro.parallel.sharding import ShardSpec, plan_shards
+from repro.social.graph import CompiledGraph
 from repro.workload.trace import (
     BroadcastColumns,
     BroadcastDataset,
@@ -46,6 +60,42 @@ from repro.workload.trace import (
     generate_day_columns,
 )
 
+#: Worker transports: ``"mmap"`` ships context and results through
+#: page-aligned array files workers attach with ``np.memmap``;
+#: ``"pickle"`` is the legacy initargs/return-value path.
+TRANSPORTS = ("mmap", "pickle")
+
+#: Below this expected per-worker broadcast volume a process pool costs
+#: more than it saves, so generation stays in-process.  Overridable via
+#: ``REPRO_TRACE_MIN_PER_WORKER`` (tests set ``0`` to force the pool).
+MIN_BROADCASTS_PER_WORKER = 20_000
+
+#: ShardContext array fields shipped through the mmap transport (the
+#: remaining fields — config and audience_cap — travel as initargs).
+_CONTEXT_ARRAY_FIELDS = (
+    "broadcaster_ids",
+    "viewer_ids",
+    "broadcaster_cdf",
+    "viewer_cdf",
+    "follower_counts",
+)
+
+#: BroadcastColumns array fields, in serialization order.
+_COLUMN_FIELDS = (
+    "broadcast_id",
+    "broadcaster_id",
+    "start_time",
+    "duration_s",
+    "web_views",
+    "heart_count",
+    "comment_count",
+    "commenter_count",
+    "is_private",
+    "broadcaster_followers",
+    "viewer_indptr",
+    "viewer_ids",
+)
+
 #: Per-worker-process shard context (set by the pool initializer, or
 #: inherited from the parent on fork start methods).
 _WORKER_CONTEXT: Optional[ShardContext] = None
@@ -54,6 +104,18 @@ _WORKER_CONTEXT: Optional[ShardContext] = None
 def _init_worker(context: ShardContext) -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = context
+
+
+def _init_worker_mapped(config: TraceConfig, audience_cap: int, context_path: str) -> None:
+    """Attach read-only mapped views of the parent's context arrays."""
+    arrays, _meta = read_arrays(context_path)
+    _init_worker(
+        ShardContext(
+            config=config,
+            audience_cap=audience_cap,
+            **{name: arrays[name] for name in _CONTEXT_ARRAY_FIELDS},
+        )
+    )
 
 
 def _run_shard(
@@ -68,18 +130,72 @@ def _run_shard(
     return spec.shard_id, day_columns, time.perf_counter() - started
 
 
+def _run_shard_mapped(spec: ShardSpec, out_dir: str) -> tuple[int, str, int, float]:
+    """Generate one shard and write its day columns to an array file.
+
+    Returns ``(shard_id, path, n_days, seconds)`` — only metadata crosses
+    the process boundary; the parent maps the columns back.
+    """
+    shard_id, day_columns, seconds = _run_shard(spec)
+    arrays = {}
+    for position, columns in enumerate(day_columns):
+        for field in _COLUMN_FIELDS:
+            arrays[f"{position:03d}/{field}"] = getattr(columns, field)
+    path = Path(out_dir) / f"shard-{spec.shard_id:05d}.arrays"
+    write_arrays(path, arrays, meta={"n_days": len(day_columns)})
+    return shard_id, str(path), len(day_columns), seconds
+
+
+def _read_shard_columns(path: str, app_name: str) -> list[BroadcastColumns]:
+    """Map a worker's shard file back as per-day column batches."""
+    arrays, meta = read_arrays(path)
+    return [
+        BroadcastColumns(
+            app_name=app_name,
+            **{field: arrays[f"{position:03d}/{field}"] for field in _COLUMN_FIELDS},
+        )
+        for position in range(int(meta["n_days"]))
+    ]
+
+
+def effective_workers(config: TraceConfig, n_shards: int) -> int:
+    """Worker processes generation will actually use.
+
+    ``config.workers`` capped by the shard count, then collapsed to 1
+    when the expected broadcast volume per worker is below
+    ``MIN_BROADCASTS_PER_WORKER`` — pool startup would dominate.  Purely
+    a scheduling decision; the generated bytes never depend on it.
+    """
+    workers = min(config.workers, n_shards)
+    if workers <= 1:
+        return 1
+    floor = int(os.environ.get("REPRO_TRACE_MIN_PER_WORKER", MIN_BROADCASTS_PER_WORKER))
+    expected = config.growth.total_broadcasts() * config.scale
+    if expected < floor * workers:
+        return 1
+    return workers
+
+
 def generate_dataset(
     config: TraceConfig,
     context: ShardContext,
     registry=NULL_REGISTRY,
+    transport: Optional[str] = None,
 ) -> BroadcastDataset:
     """Generate the broadcast dataset from a prebuilt context.
 
     Honours ``config.shards`` / ``config.workers``; the output is
-    independent of both (test-enforced).
+    independent of both (test-enforced).  ``transport`` picks how context
+    and results cross the process boundary (``"mmap"`` default,
+    ``"pickle"`` legacy; env override ``REPRO_TRACE_TRANSPORT``) and is
+    equally output-invariant.
     """
+    transport = transport or os.environ.get("REPRO_TRACE_TRANSPORT", "mmap")
+    if transport not in TRANSPORTS:
+        raise ValueError(f"unknown transport {transport!r}; expected one of {TRANSPORTS}")
+
     specs = plan_shards(config.growth.days, shards=config.shards, workers=config.workers)
-    workers = min(config.workers, len(specs))
+    workers = effective_workers(config, len(specs))
 
     registry.gauge("trace.workers", "worker processes used for generation").set(workers)
     registry.gauge("trace.shards", "day-range shards generated").set(len(specs))
@@ -95,13 +211,34 @@ def generate_dataset(
             shard_id, day_columns, seconds = _run_shard(spec, context)
             results[shard_id] = day_columns
             shard_seconds.observe(seconds)
-    else:
+    elif transport == "pickle":
         with ProcessPoolExecutor(
             max_workers=workers, initializer=_init_worker, initargs=(context,)
         ) as pool:
             for shard_id, day_columns, seconds in pool.map(_run_shard, specs):
                 results[shard_id] = day_columns
                 shard_seconds.observe(seconds)
+    else:
+        # Zero-copy transport: context goes out as one mapped file, day
+        # columns come back as per-shard files.  The temp dir is removed
+        # as soon as the columns are mapped — on POSIX the mappings (and
+        # thus the merged dataset) survive the unlink.
+        with tempfile.TemporaryDirectory(prefix="repro-trace-") as tmp:
+            context_path = Path(tmp) / "context.arrays"
+            write_arrays(
+                context_path,
+                {name: getattr(context, name) for name in _CONTEXT_ARRAY_FIELDS},
+            )
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker_mapped,
+                initargs=(config, context.audience_cap, str(context_path)),
+            ) as pool:
+                for shard_id, path, _n_days, seconds in pool.map(
+                    _run_shard_mapped, specs, repeat(tmp)
+                ):
+                    results[shard_id] = _read_shard_columns(path, config.app_name)
+                    shard_seconds.observe(seconds)
     registry.gauge(
         "trace.generate_seconds", "wall seconds in per-day generation (all shards)"
     ).set(time.perf_counter() - generate_started)
@@ -118,6 +255,65 @@ def generate_dataset(
     return dataset
 
 
+def _graph_cache_key(config: TraceConfig) -> str:
+    """Hash of everything that determines the follow graph's bytes."""
+    basis = f"graph|{config.seed}|{config.total_users}|{config.graph_mean_out_degree}"
+    return hashlib.sha256(basis.encode("ascii")).hexdigest()[:16]
+
+
+def load_or_build_graph(
+    config: TraceConfig,
+    cache_dir: Optional[Union[str, Path]] = None,
+    registry=NULL_REGISTRY,
+) -> Optional[CompiledGraph]:
+    """The config's follow graph, via the mappable graph cache.
+
+    With a ``cache_dir``, a previously built graph is attached as
+    read-only ``np.memmap`` views — milliseconds instead of the full
+    generation — and a fresh build is stored back (atomically) for the
+    next run.  Corrupt cache files are discarded and rebuilt.
+    """
+    if not config.with_social_graph:
+        return None
+    path = None
+    if cache_dir is not None:
+        path = Path(cache_dir) / f"graph-{_graph_cache_key(config)}.arrays"
+        if path.exists():
+            try:
+                arrays, _meta = read_arrays(path)
+                graph = CompiledGraph(
+                    arrays["node_ids"],
+                    arrays["indptr"],
+                    arrays["indices"],
+                    arrays["rindptr"],
+                    arrays["rindices"],
+                )
+                registry.counter("trace.graph_cache_hits", "follow-graph cache hits").inc()
+                return graph
+            except (ValueError, OSError, KeyError):
+                path.unlink(missing_ok=True)
+
+    graph = build_follow_graph(config)
+    if path is not None and graph is not None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_name(path.name + f".tmp{os.getpid()}")
+        try:
+            write_arrays(
+                temp,
+                {
+                    "node_ids": graph.node_ids,
+                    "indptr": graph.indptr,
+                    "indices": graph.indices,
+                    "rindptr": graph.rindptr,
+                    "rindices": graph.rindices,
+                },
+            )
+            os.replace(temp, path)
+        finally:
+            temp.unlink(missing_ok=True)
+    return graph
+
+
 def generate_trace(
     config: TraceConfig,
     cache_dir: Optional[Union[str, Path]] = None,
@@ -126,15 +322,43 @@ def generate_trace(
 ) -> WorkloadTrace:
     """Generate (or load from cache) a full :class:`WorkloadTrace`.
 
-    The population pools and follow graph are deterministic precomputes
-    and are always rebuilt (they are needed by social analyses either
-    way); only the broadcast dataset — the expensive, shardable part —
-    goes through the on-disk cache.  ``cache_format`` picks the cache
-    serialization (``"v2"`` binary columnar, ``"v1"`` gzipped JSONL);
-    both store the identical dataset.
+    The dataset cache is probed *first*: a hit costs the read plus the
+    cheap population pools (their substream is independent of the
+    graph's), and the follow graph becomes a lazy attribute — built, or
+    attached from the graph cache, only if an analysis actually touches
+    ``trace.graph``.  Only on a miss does the full precompute run.
+    ``cache_format`` picks the cache serialization (``"v2"`` binary
+    columnar, ``"v1"`` gzipped JSONL, ``"mmap"`` uncompressed mappable
+    columns); all store the identical dataset.
     """
+    cache = None
+    dataset: Optional[BroadcastDataset] = None
+    if cache_dir is not None:
+        # Imported here: storage has no dependency on this module.
+        from repro.crawler.storage import DatasetCache
+
+        cache = DatasetCache(cache_dir, fmt=cache_format)
+        dataset = cache.get(config.cache_key())
+
+    if dataset is not None:
+        registry.counter("trace.cache_hits", "dataset cache hits").inc()
+        # Pools draw from their own substream, so skipping the graph
+        # changes nothing about them; follower counts are only consumed
+        # by generation, which a hit bypasses.
+        context, _ = build_trace_context(config, graph=None)
+        return WorkloadTrace(
+            config=config,
+            dataset=dataset,
+            graph=lambda: load_or_build_graph(config, cache_dir, registry),
+            broadcaster_ids=context.broadcaster_ids,
+            viewer_ids=context.viewer_ids,
+        )
+
+    if cache is not None:
+        registry.counter("trace.cache_misses", "dataset cache misses").inc()
+
     graph_started = time.perf_counter()
-    graph = build_follow_graph(config)
+    graph = load_or_build_graph(config, cache_dir, registry)
     graph_seconds = time.perf_counter() - graph_started
     registry.gauge(
         "trace.graph_seconds", "wall seconds building the follow graph"
@@ -146,23 +370,9 @@ def generate_trace(
         "trace.context_seconds", "wall seconds in precompute (graph + pools)"
     ).set(graph_seconds + (time.perf_counter() - context_started))
 
-    dataset: Optional[BroadcastDataset] = None
-    cache = None
-    if cache_dir is not None:
-        # Imported here: storage has no dependency on this module.
-        from repro.crawler.storage import DatasetCache
-
-        cache = DatasetCache(cache_dir, fmt=cache_format)
-        dataset = cache.get(config.cache_key())
-        if dataset is not None:
-            registry.counter("trace.cache_hits", "dataset cache hits").inc()
-
-    if dataset is None:
-        if cache is not None:
-            registry.counter("trace.cache_misses", "dataset cache misses").inc()
-        dataset = generate_dataset(config, context, registry=registry)
-        if cache is not None:
-            cache.put(config.cache_key(), dataset)
+    dataset = generate_dataset(config, context, registry=registry)
+    if cache is not None:
+        cache.put(config.cache_key(), dataset)
 
     return WorkloadTrace(
         config=config,

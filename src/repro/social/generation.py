@@ -33,6 +33,11 @@ import numpy as np
 
 from repro.social.graph import CompiledGraph, FollowGraph
 
+#: Packed-pair encoding shared with :meth:`CompiledGraph.from_packed_keys`:
+#: ``(a, b)`` sorts as the int64 ``a << 32 | b``.
+_PAIR_SHIFT = 32
+_PAIR_MASK = np.int64((1 << _PAIR_SHIFT) - 1)
+
 #: Vectorized generation processes arriving nodes in chunks of
 #: ``max(_MIN_CHUNK, prefix * _CHUNK_FRACTION)``: small enough that the
 #: snapshot each chunk samples against is at most ~20% stale, large enough
@@ -130,8 +135,11 @@ def _chunk_targets(
     by source with no sorting needed) and a reciprocation CSR.
     Returns ``(owner_rel, target)`` with dropped triadic draws marked -1.
     """
-    owner_rel = np.repeat(np.arange(len(wanted), dtype=np.int64), wanted)
-    total = len(owner_rel)
+    # owner_rel = repeat(arange(len(wanted)), wanted), built with a
+    # bincount + cumsum instead of np.repeat (one less full-size gather).
+    total = int(wanted.sum())
+    marker = np.bincount(np.cumsum(wanted), minlength=total + 1)
+    owner_rel = np.cumsum(marker[:total], dtype=np.int64) if total else np.empty(0, np.int64)
     roll = rng.random(total)
     is_pref = roll < config.pref_prob
     is_triadic = ~is_pref & (roll < config.pref_prob + config.triadic_prob)
@@ -177,20 +185,30 @@ def _chunk_targets(
             rec_degree = rec_indptr[via + 1] - rec_indptr[via]
             via_degree = fwd_degree + rec_degree
             closable = via_degree > 0
-            closed = np.full(n_via, -1, dtype=np.int64)
             n_closable = int(closable.sum())
-            if n_closable:
-                via_ok = via[closable]
-                position = rng.integers(0, via_degree[closable])
-                in_fwd = position < fwd_degree[closable]
-                picked = np.empty(n_closable, dtype=np.int64)
-                picked[in_fwd] = fwd_indices[
-                    (fwd_indptr[via_ok] + position)[in_fwd]
+            if n_closable == n_via:
+                # Common case: every via node has followees — no -1 fill.
+                position = rng.integers(0, via_degree)
+                in_fwd = position < fwd_degree
+                closed = np.empty(n_via, dtype=np.int64)
+                closed[in_fwd] = fwd_indices[(fwd_indptr[via] + position)[in_fwd]]
+                closed[~in_fwd] = rec_indices[
+                    (rec_indptr[via] + position - fwd_degree)[~in_fwd]
                 ]
-                picked[~in_fwd] = rec_indices[
-                    (rec_indptr[via_ok] + position - fwd_degree[closable])[~in_fwd]
-                ]
-                closed[closable] = picked
+            else:
+                closed = np.full(n_via, -1, dtype=np.int64)
+                if n_closable:
+                    via_ok = via[closable]
+                    position = rng.integers(0, via_degree[closable])
+                    in_fwd = position < fwd_degree[closable]
+                    picked = np.empty(n_closable, dtype=np.int64)
+                    picked[in_fwd] = fwd_indices[
+                        (fwd_indptr[via_ok] + position)[in_fwd]
+                    ]
+                    picked[~in_fwd] = rec_indices[
+                        (rec_indptr[via_ok] + position - fwd_degree[closable])[~in_fwd]
+                    ]
+                    closed[closable] = picked
             tri_targets[has_via] = closed
         targets[is_triadic] = tri_targets
 
@@ -233,11 +251,14 @@ def generate_follow_graph_compiled(
 
     # Reciprocated edges land on arbitrary old sources; kept separately
     # and re-sorted per chunk (a small, geometrically growing set).
-    rec_src = _GrowBuffer(int(expected_edges * config.reciprocation_prob) + 16)
-    rec_dst = _GrowBuffer(int(expected_edges * config.reciprocation_prob) + 16)
+    rec_capacity = int(expected_edges * config.reciprocation_prob * 1.1) + 64
+    rec_src = _GrowBuffer(rec_capacity)
+    rec_dst = _GrowBuffer(rec_capacity)
 
-    # In-degree-proportional sampling pool: each followee once per in-edge.
-    pool = _GrowBuffer(expected_edges)
+    # In-degree-proportional sampling pool: each followee once per
+    # in-edge, i.e. every forward dst plus every reciprocated dst —
+    # sized for both up front so it never pays a doubling copy.
+    pool = _GrowBuffer(expected_edges + 2 * rec_capacity)
     pool.append(seed_dst)
 
     fwd_indptr = np.zeros(n + 1, dtype=np.int64)
@@ -261,17 +282,17 @@ def generate_follow_graph_compiled(
 
         # Dedup per owner (targets < prefix <= owner, so self-follows are
         # impossible and a new node has no pre-existing out-edges to
-        # collide with).  Canonical order: sorted by (owner, target).
+        # collide with).  Canonical order: sorted by (owner, target) —
+        # realized as one packed-key sort instead of a lexsort.
         kept = targets >= 0
-        owners = owner_rel[kept] + prefix
-        kept_targets = targets[kept]
-        pair_order = np.lexsort((kept_targets, owners))
-        owners = owners[pair_order]
-        kept_targets = kept_targets[pair_order]
-        first = np.ones(len(owners), dtype=bool)
-        first[1:] = (owners[1:] != owners[:-1]) | (kept_targets[1:] != kept_targets[:-1])
-        edge_src = owners[first]
-        edge_dst = kept_targets[first]
+        pair_keys = np.left_shift(owner_rel[kept], _PAIR_SHIFT)
+        np.bitwise_or(pair_keys, targets[kept], out=pair_keys)
+        pair_keys.sort()
+        first = np.ones(len(pair_keys), dtype=bool)
+        first[1:] = pair_keys[1:] != pair_keys[:-1]
+        unique_keys = pair_keys[first]
+        edge_src = np.right_shift(unique_keys, _PAIR_SHIFT) + prefix
+        edge_dst = np.bitwise_and(unique_keys, _PAIR_MASK)
 
         reciprocated = rng.random(len(edge_src)) < config.reciprocation_prob
         new_rec_src = edge_dst[reciprocated]
@@ -288,11 +309,17 @@ def generate_follow_graph_compiled(
         pool.append(new_rec_dst)
         prefix = end
 
-    return CompiledGraph.from_edge_arrays(
-        np.concatenate([fwd_src.view(), rec_src.view()]),
-        np.concatenate([fwd_dst.view(), rec_dst.view()]),
-        n_nodes=n,
-    )
+    # Pack (src, dst) pairs straight into one key buffer — no edge-array
+    # concatenation, and compilation is one int64 sort per direction.
+    n_fwd, n_rec = fwd_src.length, rec_src.length
+    keys = np.empty(n_fwd + n_rec, dtype=np.int64)
+    np.left_shift(fwd_src.view(), _PAIR_SHIFT, out=keys[:n_fwd])
+    np.bitwise_or(keys[:n_fwd], fwd_dst.view(), out=keys[:n_fwd])
+    np.left_shift(rec_src.view(), _PAIR_SHIFT, out=keys[n_fwd:])
+    np.bitwise_or(keys[n_fwd:], rec_dst.view(), out=keys[n_fwd:])
+    # Endpoints are in-range by construction (targets are clipped and
+    # deduped against [0, n)), so skip the validation pass.
+    return CompiledGraph.from_packed_keys(keys, n_nodes=n, validate=False)
 
 
 def generate_follow_graph(

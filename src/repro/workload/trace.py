@@ -28,7 +28,7 @@ import hashlib
 import json
 import math
 from dataclasses import asdict, dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -192,15 +192,40 @@ class TraceConfig:
         )
 
 
-@dataclass
 class WorkloadTrace:
-    """A generated measurement: dataset + population + optional graph."""
+    """A generated measurement: dataset + population + optional graph.
 
-    config: TraceConfig
-    dataset: BroadcastDataset
-    graph: Optional[AnyFollowGraph]
-    broadcaster_ids: np.ndarray  # pool of user IDs acting as broadcasters
-    viewer_ids: np.ndarray  # pool of registered mobile viewer IDs
+    ``graph`` may be eager (a graph object or ``None``) or lazy: pass a
+    zero-argument callable and it is invoked once on first access.  The
+    dataset-cache hit path uses the lazy form so a cached run never pays
+    the graph build unless an analysis actually touches ``trace.graph``.
+    """
+
+    def __init__(
+        self,
+        config: TraceConfig,
+        dataset: BroadcastDataset,
+        graph: Union[Optional[AnyFollowGraph], Callable[[], Optional[AnyFollowGraph]]],
+        broadcaster_ids: np.ndarray,
+        viewer_ids: np.ndarray,
+    ) -> None:
+        self.config = config
+        self.dataset = dataset
+        self.broadcaster_ids = broadcaster_ids  # pool of broadcaster user IDs
+        self.viewer_ids = viewer_ids  # pool of registered mobile viewer IDs
+        if callable(graph):
+            self._graph: Optional[AnyFollowGraph] = None
+            self._graph_factory: Optional[Callable[[], Optional[AnyFollowGraph]]] = graph
+        else:
+            self._graph = graph
+            self._graph_factory = None
+
+    @property
+    def graph(self) -> Optional[AnyFollowGraph]:
+        if self._graph_factory is not None:
+            self._graph = self._graph_factory()
+            self._graph_factory = None
+        return self._graph
 
     @property
     def app_name(self) -> str:

@@ -124,7 +124,7 @@ class TestTraceTarget:
             return [
                 line
                 for line in text.splitlines()
-                if not line.startswith(("generated in", "shards"))
+                if not line.startswith(("generated in", "shards", "phase "))
             ]
 
         assert strip(sanitized) == strip(plain)

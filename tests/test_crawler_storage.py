@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 import gzip
 import json
 
@@ -9,15 +10,19 @@ import numpy as np
 import pytest
 
 from repro.core.pipeline import DelayMeasurementCampaign
+from repro.crawler.arrayfile import read_arrays, write_arrays
 from repro.crawler.storage import (
+    _CACHE_FORMATS,
     DatasetCache,
     dataset_from_bytes,
     dataset_from_columnar_bytes,
     dataset_to_bytes,
     dataset_to_columnar_bytes,
     load_dataset,
+    load_dataset_mapped,
     load_traces,
     save_dataset,
+    save_dataset_mapped,
     save_traces,
 )
 from repro.workload.trace import TraceConfig, TraceGenerator
@@ -217,14 +222,45 @@ class TestCacheFormats:
         with pytest.raises(ValueError, match="cache format"):
             DatasetCache(tmp_path, fmt="v3")
 
-    @pytest.mark.parametrize("writer,reader", [("v1", "v2"), ("v2", "v1")])
+    @pytest.mark.parametrize(
+        "writer,reader",
+        [(w, r) for w in sorted(_CACHE_FORMATS) for r in sorted(_CACHE_FORMATS) if w != r],
+    )
     def test_cross_format_entries_readable(self, small_dataset, tmp_path, writer, reader):
-        """A cache in either format reads entries the other format wrote."""
+        """A cache in any format reads entries every other format wrote."""
         DatasetCache(tmp_path, fmt=writer).put("key", small_dataset)
         hit = DatasetCache(tmp_path, fmt=reader).get("key")
         assert hit is not None
         assert dataset_to_bytes(hit) == dataset_to_bytes(small_dataset)
         assert "key" in DatasetCache(tmp_path, fmt=reader)
+
+    @pytest.mark.parametrize("fmt", sorted(_CACHE_FORMATS))
+    def test_corrupt_entry_recovered_in_every_format(self, small_dataset, tmp_path, fmt):
+        """Garbage in any format is a miss, removed, and re-puttable."""
+        cache = DatasetCache(tmp_path / fmt, fmt=fmt)
+        path = cache.put("key", small_dataset)
+        path.write_bytes(b"\x00garbage\x00" * 3)
+        assert cache.get("key") is None
+        assert not path.exists()
+        cache.put("key", small_dataset)
+        hit = cache.get("key")
+        assert hit is not None
+        assert dataset_to_bytes(hit) == dataset_to_bytes(small_dataset)
+
+    def test_corrupt_preferred_format_falls_through_to_valid_fallback(
+        self, small_dataset, tmp_path
+    ):
+        """Regression: a corrupt v2 entry must not mask a valid v1 entry."""
+        DatasetCache(tmp_path, fmt="v1").put("key", small_dataset)
+        v2_cache = DatasetCache(tmp_path, fmt="v2")
+        v2_path = v2_cache.put("key", small_dataset)
+        v2_path.write_bytes(b"not gzip at all")
+        hit = v2_cache.get("key")
+        assert hit is not None
+        assert dataset_to_bytes(hit) == dataset_to_bytes(small_dataset)
+        # The corrupt preferred entry is cleaned up; the fallback remains.
+        assert not v2_path.exists()
+        assert v2_cache.path_for("key", fmt="v1").exists()
 
     def test_version_mismatch_is_a_miss(self, small_dataset, tmp_path):
         """An entry with the wrong embedded version is dropped, not fatal."""
@@ -245,6 +281,143 @@ class TestCacheFormats:
         hit = v2_cache.get("key")
         assert hit is not None
         assert hit.table1_row() == small_dataset.table1_row()
+
+
+class TestCacheHygiene:
+    def test_stale_temp_from_dead_writer_swept_on_init(self, small_dataset, tmp_path):
+        cache = DatasetCache(tmp_path)
+        path = cache.put("key", small_dataset)
+        # A writer that died between write and rename: pid 2**22 + 1 is
+        # above every default pid_max, so it can never be alive.
+        stale = tmp_path / f"{path.name}.tmp{2**22 + 1}"
+        stale.write_bytes(b"partial")
+        swept = DatasetCache(tmp_path)
+        assert not stale.exists()
+        assert swept.get("key") is not None
+
+    def test_live_writer_temp_left_alone(self, small_dataset, tmp_path):
+        import os
+
+        DatasetCache(tmp_path)
+        live = tmp_path / f"trace-other.cols.gz.tmp{os.getpid()}"
+        live.write_bytes(b"in flight")
+        DatasetCache(tmp_path)
+        assert live.exists()
+
+    def test_put_cleans_temp_when_serialization_fails(
+        self, small_dataset, tmp_path, monkeypatch
+    ):
+        cache = DatasetCache(tmp_path, fmt="v2")
+
+        def explode(dataset, path):
+            path.write_bytes(b"half written")
+            raise RuntimeError("disk on fire")
+
+        monkeypatch.setitem(
+            _CACHE_FORMATS, "v2", (".cols.gz", explode, _CACHE_FORMATS["v2"][2])
+        )
+        with pytest.raises(RuntimeError):
+            cache.put("key", small_dataset)
+        assert not list(tmp_path.glob("*.tmp*"))
+        assert cache.get("key") is None
+
+    def test_contains_rejects_corrupt_entry(self, small_dataset, tmp_path):
+        """``in`` matches ``get`` semantics: a poisoned key is absent."""
+        cache = DatasetCache(tmp_path)
+        assert "key" not in cache
+        path = cache.put("key", small_dataset)
+        assert "key" in cache
+        path.write_bytes(b"not gzip at all")
+        assert "key" not in cache
+        assert not path.exists()
+
+
+class TestMappedDataset:
+    def test_round_trip_preserves_everything(self, small_dataset, tmp_path):
+        path = tmp_path / "d.cols"
+        save_dataset_mapped(small_dataset, path)
+        restored = load_dataset_mapped(path)
+        assert restored.app_name == small_dataset.app_name
+        assert restored.days == small_dataset.days
+        assert restored.table1_row() == small_dataset.table1_row()
+        # Full fidelity: re-serializing through v1 gives identical bytes.
+        assert dataset_to_bytes(restored) == dataset_to_bytes(small_dataset)
+
+    def test_columns_are_read_only_memory_maps(self, small_dataset, tmp_path):
+        path = tmp_path / "d.cols"
+        save_dataset_mapped(small_dataset, path)
+        columns = load_dataset_mapped(path).columns
+        # asarray in __post_init__ strips the memmap subclass but keeps
+        # the zero-copy view: the column is a read-only view of the map.
+        assert columns.start_time.base is not None
+        assert not columns.start_time.flags.writeable
+        with pytest.raises(ValueError):
+            columns.start_time[0] = 0.0
+
+    def test_written_files_are_byte_identical(self, small_dataset, tmp_path):
+        a, b = tmp_path / "a.cols", tmp_path / "b.cols"
+        save_dataset_mapped(small_dataset, a)
+        save_dataset_mapped(small_dataset, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_truncation_detected(self, small_dataset, tmp_path):
+        path = tmp_path / "d.cols"
+        save_dataset_mapped(small_dataset, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-4096])
+        with pytest.raises(ValueError, match="truncated"):
+            load_dataset_mapped(path)
+
+    def test_trailing_bytes_detected(self, small_dataset, tmp_path):
+        path = tmp_path / "d.cols"
+        save_dataset_mapped(small_dataset, path)
+        with path.open("ab") as handle:
+            handle.write(b"\x00" * 8)
+        with pytest.raises(ValueError, match="trailing"):
+            load_dataset_mapped(path)
+
+    def test_foreign_array_file_rejected(self, tmp_path):
+        path = tmp_path / "other.cols"
+        write_arrays(path, {"x": np.arange(3)}, meta={"format": "something-else"})
+        with pytest.raises(ValueError, match="not a mapped broadcast dataset"):
+            load_dataset_mapped(path)
+
+
+class TestArrayFile:
+    def test_round_trip_and_meta(self, tmp_path):
+        path = tmp_path / "bundle.arrays"
+        original = {
+            "a": np.arange(10, dtype=np.int64),
+            "b": np.linspace(0.0, 1.0, 7),
+            "flags": np.array([True, False, True]),
+            "empty": np.empty(0, dtype=np.int64),
+        }
+        write_arrays(path, original, meta={"tag": 42})
+        arrays, meta = read_arrays(path)
+        assert meta == {"tag": 42}
+        assert list(arrays) == list(original)
+        for name, array in original.items():
+            assert np.array_equal(arrays[name], array)
+
+    def test_blocks_are_page_aligned(self, tmp_path):
+        from repro.crawler.arrayfile import PAGE_SIZE
+
+        path = tmp_path / "bundle.arrays"
+        write_arrays(path, {"a": np.arange(5), "b": np.arange(9)})
+        with path.open("rb") as handle:
+            header_len = len(handle.readline())
+        assert header_len % PAGE_SIZE == 0
+        assert path.stat().st_size % PAGE_SIZE == 0
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bundle.arrays"
+        path.write_bytes(b'{"format": "nope"}\n')
+        with pytest.raises(ValueError, match="repro-arrays"):
+            read_arrays(path)
+
+    def test_object_arrays_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="object"):
+            write_arrays(tmp_path / "x.arrays", {"bad": np.array([{}, {}])})
 
 
 class TestTraceStorage:
@@ -277,3 +450,24 @@ class TestTraceStorage:
     def test_empty_save_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             save_traces([], tmp_path / "x.npz")
+
+    def test_large_broadcast_id_round_trips_exactly(self, small_traces, tmp_path):
+        """IDs above 2**53 must not pass through float64 (lossy) storage."""
+        big_id = 2**53 + 1
+        assert int(float(big_id)) != big_id  # the bug this guards against
+        doctored = [dataclasses.replace(small_traces[0], broadcast_id=big_id)]
+        path = tmp_path / "traces.npz"
+        save_traces(doctored, path)
+        assert load_traces(path)[0].broadcast_id == big_id
+
+    def test_legacy_bundle_without_id_array_still_loads(self, small_traces, tmp_path):
+        """Bundles from before the int64 ID array fall back to meta[:, 0]."""
+        path = tmp_path / "traces.npz"
+        save_traces(list(small_traces), path)
+        with np.load(path) as bundle:
+            legacy = {k: bundle[k] for k in bundle.files if k != "broadcast_ids"}
+        np.savez_compressed(path, **legacy)
+        loaded = load_traces(path)
+        assert [t.broadcast_id for t in loaded] == [
+            t.broadcast_id for t in small_traces
+        ]

@@ -15,7 +15,13 @@ import pytest
 
 from repro.crawler.storage import DatasetCache, dataset_to_bytes
 from repro.obs import MetricsRegistry
-from repro.parallel import AUTO_SHARDS_PER_WORKER, ShardSpec, generate_trace, plan_shards
+from repro.parallel import (
+    AUTO_SHARDS_PER_WORKER,
+    ShardSpec,
+    generate_dataset,
+    generate_trace,
+    plan_shards,
+)
 from repro.workload.trace import (
     FULL_SCALE_OPEN_RATE,
     SMALL_SCALE_OPEN_RATE_CAP,
@@ -30,9 +36,26 @@ SCALE = 0.0001
 SEED = 17
 
 
+@pytest.fixture(autouse=True)
+def _force_pool(monkeypatch):
+    """Disable the tiny-workload serial fallback for this module.
+
+    The scales here are far below ``MIN_BROADCASTS_PER_WORKER``, but the
+    determinism suite must exercise the real process pool; fallback
+    behaviour has its own tests below.
+    """
+    monkeypatch.setenv("REPRO_TRACE_MIN_PER_WORKER", "0")
+
+
 def _bytes_for(**overrides) -> bytes:
     config = TraceConfig.periscope(scale=SCALE, seed=SEED, **overrides)
     return dataset_to_bytes(generate_trace(config).dataset)
+
+
+@pytest.fixture(scope="module")
+def reference_bytes():
+    """Serial single-shard generation: the byte-identity reference."""
+    return _bytes_for(workers=1)
 
 
 class TestScheduleIndependence:
@@ -174,6 +197,142 @@ class TestObservability:
         assert registry.histogram("trace.shard_seconds").count == 6
         assert registry.counter("trace.broadcasts").value == len(trace.dataset)
         assert registry.gauge("trace.shards").value == 6
+
+
+class TestTransports:
+    """The zero-copy mmap transport is pure plumbing: identical bytes."""
+
+    @pytest.fixture(scope="class")
+    def context_and_config(self):
+        config = TraceConfig.periscope(scale=SCALE, seed=SEED, workers=2, shards=5)
+        context, _ = build_trace_context(config)
+        return config, context
+
+    def test_mmap_and_pickle_transports_byte_identical(self, context_and_config):
+        config, context = context_and_config
+        mapped = generate_dataset(config, context, transport="mmap")
+        pickled = generate_dataset(config, context, transport="pickle")
+        assert dataset_to_bytes(mapped) == dataset_to_bytes(pickled)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_mmap_transport_matches_serial_across_workers(
+        self, context_and_config, workers
+    ):
+        import dataclasses
+
+        config, context = context_and_config
+        serial_config = dataclasses.replace(config, workers=1, shards=1)
+        serial = generate_dataset(
+            serial_config, dataclasses.replace(context, config=serial_config)
+        )
+        worker_config = dataclasses.replace(config, workers=workers, shards=7)
+        parallel = generate_dataset(
+            worker_config,
+            dataclasses.replace(context, config=worker_config),
+            transport="mmap",
+        )
+        assert dataset_to_bytes(parallel) == dataset_to_bytes(serial)
+
+    def test_unknown_transport_rejected(self, context_and_config):
+        config, context = context_and_config
+        with pytest.raises(ValueError, match="transport"):
+            generate_dataset(config, context, transport="carrier-pigeon")
+
+
+class TestSerialFallback:
+    def test_tiny_workload_collapses_to_one_worker(self, monkeypatch):
+        """Below the per-worker floor the pool is skipped entirely."""
+        monkeypatch.delenv("REPRO_TRACE_MIN_PER_WORKER", raising=False)
+        config = TraceConfig.periscope(scale=SCALE, seed=SEED, workers=4)
+        registry = MetricsRegistry()
+        trace = generate_trace(config, registry=registry)
+        assert registry.gauge("trace.workers").value == 1
+        assert len(trace.dataset) > 0
+
+    def test_fallback_output_matches_pool_output(self, reference_bytes, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_MIN_PER_WORKER", raising=False)
+        assert _bytes_for(workers=4) == reference_bytes
+
+    def test_forced_pool_engages_workers(self):
+        config = TraceConfig.periscope(scale=SCALE, seed=SEED, workers=2)
+        registry = MetricsRegistry()
+        generate_trace(config, registry=registry)
+        assert registry.gauge("trace.workers").value == 2
+
+
+class TestCacheFirstProbe:
+    """A dataset-cache hit must skip the graph build entirely."""
+
+    def _poison_graph_build(self, monkeypatch):
+        import repro.parallel.generate as generate_module
+
+        def explode(config):
+            raise AssertionError("graph was built on the cache-hit path")
+
+        monkeypatch.setattr(generate_module, "build_follow_graph", explode)
+
+    def test_hit_skips_graph_build(self, tmp_path, monkeypatch):
+        config = TraceConfig.periscope(scale=SCALE, seed=SEED)
+        fresh = generate_trace(config, cache_dir=tmp_path)
+        self._poison_graph_build(monkeypatch)
+        cached = generate_trace(config, cache_dir=tmp_path)
+        assert dataset_to_bytes(cached.dataset) == dataset_to_bytes(fresh.dataset)
+        assert np.array_equal(cached.broadcaster_ids, fresh.broadcaster_ids)
+        assert np.array_equal(cached.viewer_ids, fresh.viewer_ids)
+
+    def test_lazy_graph_loads_from_graph_cache(self, tmp_path, monkeypatch):
+        """trace.graph on a hit attaches the mapped graph, not a rebuild."""
+        config = TraceConfig.periscope(scale=SCALE, seed=SEED)
+        fresh = generate_trace(config, cache_dir=tmp_path)
+        self._poison_graph_build(monkeypatch)
+        cached = generate_trace(config, cache_dir=tmp_path)
+        graph = cached.graph  # would raise if it rebuilt instead of mapping
+        assert graph is not None
+        assert np.array_equal(graph.indptr, fresh.graph.indptr)
+        assert np.array_equal(graph.indices, fresh.graph.indices)
+
+    def test_corrupt_graph_cache_rebuilt(self, tmp_path):
+        config = TraceConfig.periscope(scale=SCALE, seed=SEED)
+        fresh = generate_trace(config, cache_dir=tmp_path)
+        (cache_file,) = tmp_path.glob("graph-*.arrays")
+        cache_file.write_bytes(b"scrambled")
+        rebuilt = generate_trace(config, cache_dir=tmp_path)
+        assert np.array_equal(rebuilt.graph.indices, fresh.graph.indices)
+
+    def test_graph_cache_reused_across_runs(self, tmp_path):
+        config = TraceConfig.periscope(scale=SCALE, seed=SEED)
+        registry = MetricsRegistry()
+        generate_trace(config, cache_dir=tmp_path, registry=registry)
+        # Second run: dataset entry removed, graph cache intact -> the
+        # miss path attaches the cached graph instead of rebuilding.
+        DatasetCache(tmp_path).path_for(config.cache_key()).unlink()
+        generate_trace(config, cache_dir=tmp_path, registry=registry)
+        assert registry.counter("trace.graph_cache_hits").value == 1
+
+
+class TestCacheFormatMatrix:
+    """Acceptance: byte-identical datasets across workers x formats."""
+
+    @pytest.mark.parametrize("fmt", ["v1", "v2", "mmap"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_cached_dataset_byte_identical(self, reference_bytes, tmp_path, fmt, workers):
+        config = TraceConfig.periscope(
+            scale=SCALE, seed=SEED, workers=workers, shards=3 * workers
+        )
+        fresh = generate_trace(config, cache_dir=tmp_path, cache_format=fmt)
+        assert dataset_to_bytes(fresh.dataset) == reference_bytes
+        cached = generate_trace(config, cache_dir=tmp_path, cache_format=fmt)
+        assert dataset_to_bytes(cached.dataset) == reference_bytes
+
+    def test_mmap_cached_aggregates_match_in_ram(self, tmp_path):
+        """The mapped dataset behaves like the in-RAM one, not just its bytes."""
+        config = TraceConfig.periscope(scale=SCALE, seed=SEED)
+        fresh = generate_trace(config, cache_dir=tmp_path, cache_format="mmap")
+        mapped = generate_trace(config, cache_dir=tmp_path, cache_format="mmap")
+        assert mapped.dataset.table1_row() == fresh.dataset.table1_row()
+        assert np.array_equal(
+            mapped.dataset.columns.viewer_ids, fresh.dataset.columns.viewer_ids
+        )
 
 
 class TestNotificationOpenRate:

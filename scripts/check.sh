@@ -9,6 +9,10 @@
 #   scripts/check.sh bench                    # smoke the trace-scale
 #                                             # benchmark and validate the
 #                                             # emitted BENCH_trace.json
+#   scripts/check.sh chaos-pipeline           # fault-injected trace run:
+#                                             # kill a worker + truncate a
+#                                             # shard, require byte-identical
+#                                             # recovery and resume
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -59,6 +63,11 @@ check("smoke run", json.load(open(sys.argv[1])))
 if os.path.exists(sys.argv[2]):
     check(sys.argv[2], json.load(open(sys.argv[2])))
 EOF
+    exit 0
+fi
+
+if [[ "${1:-}" == "chaos-pipeline" ]]; then
+    PYTHONPATH=src python scripts/chaos_pipeline.py
     exit 0
 fi
 

@@ -89,6 +89,21 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--run-dir", type=str, default=None, metavar="DIR",
+        help=(
+            "checkpoint directory for the 'trace' target: finished shards "
+            "are journaled there atomically, so an interrupted run can be "
+            "continued with --resume instead of starting over"
+        ),
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "resume the run checkpointed in --run-dir, skipping shards "
+            "already done (requires --run-dir)"
+        ),
+    )
+    parser.add_argument(
         "--sanitize", action="store_true",
         help=(
             "arm the runtime determinism sanitizer for the 'chaos' and "
@@ -153,6 +168,8 @@ def _render_trace(args: argparse.Namespace) -> str:
         cache_dir=args.cache_dir,
         registry=registry,
         cache_format=args.cache_format,
+        run_dir=args.run_dir,
+        resume=args.resume,
     )
     elapsed = time.perf_counter() - started
 
@@ -190,6 +207,15 @@ def _render_trace(args: argparse.Namespace) -> str:
             f"dataset cache   miss -> stored ({args.cache_dir}, "
             f"key {config.cache_key()}, format {args.cache_format})"
         )
+    if args.run_dir:
+        counters = snapshot["counters"]
+        resumed = int(counters.get("trace.shards_resumed", {}).get("value", 0))
+        retries = int(counters.get("trace.shard_retries", {}).get("value", 0))
+        rebuilds = int(counters.get("trace.pool_rebuilds", {}).get("value", 0))
+        detail = f"{resumed} shards resumed"
+        if retries or rebuilds:
+            detail += f", {retries} retries, {rebuilds} pool rebuilds"
+        lines.append(f"run dir         {args.run_dir} ({detail})")
     shard_stats = snapshot["histograms"].get("trace.shard_seconds")
     if shard_stats and shard_stats["count"]:
         workers = int(snapshot["gauges"]["trace.workers"]["value"])
@@ -198,6 +224,45 @@ def _render_trace(args: argparse.Namespace) -> str:
             f"mean {shard_stats['mean']:.2f}s, max {shard_stats['max']:.2f}s"
         )
     return "\n".join(lines)
+
+
+def _resume_invocation(args: argparse.Namespace) -> str:
+    """The exact command line that continues an interrupted trace run."""
+    parts = ["repro", "trace", "--run-dir", str(args.run_dir), "--resume"]
+    if args.scale is not None:
+        parts += ["--scale", f"{args.scale:g}"]
+    if args.seed is not None:
+        parts += ["--seed", str(args.seed)]
+    if args.workers is not None:
+        parts += ["--workers", str(args.workers)]
+    if args.shards is not None:
+        parts += ["--shards", str(args.shards)]
+    if args.app != "periscope":
+        parts += ["--app", args.app]
+    if args.cache_dir:
+        parts += ["--cache-dir", str(args.cache_dir)]
+    if args.cache_format != "v2":
+        parts += ["--cache-format", args.cache_format]
+    if args.sanitize:
+        parts.append("--sanitize")
+    return " ".join(parts)
+
+
+def _interrupt_summary(args: argparse.Namespace) -> str:
+    """Progress report printed when a trace run is interrupted (Ctrl-C)."""
+    if not args.run_dir:
+        return "interrupted (no --run-dir; progress not checkpointed)"
+    from repro.parallel import read_manifest
+
+    manifest = read_manifest(args.run_dir)
+    if manifest is None:
+        return f"interrupted before any shard was checkpointed in {args.run_dir}"
+    done = len(manifest.get("done", []))
+    total = len(manifest.get("shard_plan", []))
+    return (
+        f"interrupted: {done}/{total} shards checkpointed in {args.run_dir}\n"
+        f"resume with: {_resume_invocation(args)}"
+    )
 
 
 def _render_chaos(seed: int, intensity: float) -> str:
@@ -310,8 +375,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        with _sanitizer_guard(args, workers=args.workers if args.workers is not None else 1):
-            summary = _render_trace(args)
+        if args.resume and not args.run_dir:
+            print("error: --resume requires --run-dir", file=sys.stderr)
+            return 2
+        try:
+            with _sanitizer_guard(args, workers=args.workers if args.workers is not None else 1):
+                summary = _render_trace(args)
+        except KeyboardInterrupt:
+            # The manifest is flushed on every shard publish, so the run
+            # dir is already consistent — report progress, no traceback.
+            print(_interrupt_summary(args), file=sys.stderr)
+            if sink is not None:
+                sink.close()
+            return 130
+        except ValueError as error:
+            # RunDirError or a malformed REPRO_TRACE_* knob: a usage
+            # problem, not a crash.
+            print(f"error: {error}", file=sys.stderr)
+            if sink is not None:
+                sink.close()
+            return 2
         emit(summary)
         if sink is not None:
             sink.close()

@@ -18,15 +18,25 @@ One tiny on-disk format serves three jobs:
 Layout: one JSON header line (format tag, page size, per-array name /
 dtype / shape / relative offset, caller metadata), space-padded to a
 page boundary, followed by each array's raw little-endian bytes at
-page-aligned offsets.  Writes are deterministic — no timestamps, no
-environment — so identical arrays always produce identical files, which
-the byte-identity suite relies on.
+page-aligned offsets, followed by a checksum *footer* line — a JSON
+record of each block's CRC-32 — itself padded to a page boundary.  The
+footer is what lets the resumable-generation layer
+(:mod:`repro.parallel.checkpoint`) tell a valid shard file from one a
+crashed writer or a flaky disk corrupted: ``read_arrays(verify=True)``
+recomputes every block checksum against it.  Files written before the
+footer existed (``footer_size`` absent from the header) still load —
+they simply have nothing to verify against.
+
+Writes are deterministic — no timestamps, no environment — so identical
+arrays always produce identical files, which the byte-identity suite
+relies on.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import zlib
 from pathlib import Path
 from typing import Mapping, Optional, Union
 
@@ -42,10 +52,21 @@ PAGE_SIZE = 4096
 
 ARRAY_FILE_VERSION = 1
 _MAGIC = "repro-arrays"
+_FOOTER_MAGIC = "repro-arrays-footer"
 
 
 def _aligned(n: int) -> int:
     return (n + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
+
+
+def _padded_json_line(payload: dict) -> bytes:
+    """Canonical JSON, space-padded to a page boundary, newline-terminated.
+
+    Readers take the first line; JSON ignores the trailing spaces, and the
+    next section starts exactly at ``len(line)``.
+    """
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("ascii")
+    return encoded + b" " * (_aligned(len(encoded) + 1) - len(encoded) - 1) + b"\n"
 
 
 def _disk_dtype(array: np.ndarray) -> np.dtype:
@@ -59,14 +80,20 @@ def write_arrays(
     path: PathLike,
     arrays: Mapping[str, np.ndarray],
     meta: Optional[dict] = None,
+    footer: bool = True,
 ) -> None:
     """Write named arrays as one page-aligned, mappable file.
 
     Insertion order of ``arrays`` is preserved; the write is
-    byte-deterministic for fixed inputs.
+    byte-deterministic for fixed inputs.  ``footer=True`` (the default)
+    appends the per-block CRC-32 checksum footer that
+    ``read_arrays(verify=True)`` validates against; ``footer=False``
+    reproduces the pre-footer format (and is how the legacy-file tests
+    manufacture old files).
     """
     entries = []
     blocks = []
+    checksums: dict[str, int] = {}
     offset = 0
     for name, array in arrays.items():
         array = np.ascontiguousarray(array)
@@ -81,7 +108,13 @@ def write_arrays(
             }
         )
         blocks.append(array)
+        # CRC over the block's raw bytes (buffer protocol: no copy).
+        checksums[str(name)] = zlib.crc32(array)
         offset += _aligned(array.nbytes)
+
+    footer_line = b""
+    if footer:
+        footer_line = _padded_json_line({"format": _FOOTER_MAGIC, "crc32": checksums})
 
     header = {
         "format": _MAGIC,
@@ -91,26 +124,32 @@ def write_arrays(
         "meta": meta or {},
         "arrays": entries,
     }
-    encoded = json.dumps(header, sort_keys=True, separators=(",", ":")).encode("ascii")
-    # Pad the header line itself to a page boundary: readers take the
-    # first line, json ignores the trailing spaces, and the data section
-    # starts exactly at ``len(first line)``.
-    header_line = encoded + b" " * (_aligned(len(encoded) + 1) - len(encoded) - 1) + b"\n"
+    if footer:
+        header["footer_size"] = len(footer_line)
+    header_line = _padded_json_line(header)
 
     with open(path, "wb") as handle:
         handle.write(header_line)
         for entry, array in zip(entries, blocks):
             handle.write(array.tobytes())
             handle.write(b"\x00" * (_aligned(array.nbytes) - array.nbytes))
+        handle.write(footer_line)
 
 
-def read_arrays(path: PathLike) -> tuple[dict[str, np.ndarray], dict]:
+def read_arrays(path: PathLike, verify: bool = False) -> tuple[dict[str, np.ndarray], dict]:
     """Map a :func:`write_arrays` file back as read-only array views.
 
     Returns ``(arrays, meta)``.  Arrays are ``np.memmap`` views (zero
     copy); on POSIX they stay valid even if the file is later unlinked.
     Raises ``ValueError`` on any structural mismatch — wrong magic or
     version, truncation, or trailing bytes.
+
+    ``verify=True`` additionally recomputes every block's CRC-32 against
+    the checksum footer and raises ``ValueError`` naming the first
+    corrupt array — the probe resumable generation runs before trusting
+    a checkpointed shard file.  It costs a full read of the data, so the
+    default (mapping-only) path never pays it.  Files written before the
+    footer existed carry no checksums and verify vacuously.
     """
     path = Path(path)
     with path.open("rb") as handle:
@@ -129,7 +168,9 @@ def read_arrays(path: PathLike) -> tuple[dict[str, np.ndarray], dict]:
         )
 
     data_start = len(header_line)
-    expected = data_start + int(header["data_size"])
+    footer_size = int(header.get("footer_size", 0))
+    data_end = data_start + int(header["data_size"])
+    expected = data_end + footer_size
     actual = path.stat().st_size
     if actual < expected:
         raise ValueError(f"{path}: truncated array file ({actual} < {expected} bytes)")
@@ -144,7 +185,7 @@ def read_arrays(path: PathLike) -> tuple[dict[str, np.ndarray], dict]:
         shape = tuple(int(dim) for dim in entry["shape"])
         count = math.prod(shape)
         start = data_start + int(entry["offset"])
-        if start + count * dtype.itemsize > expected:
+        if start + count * dtype.itemsize > data_end:
             raise ValueError(f"{path}: array {entry['name']!r} overruns the file")
         if count == 0:
             arrays[entry["name"]] = np.empty(shape, dtype=dtype)
@@ -152,4 +193,39 @@ def read_arrays(path: PathLike) -> tuple[dict[str, np.ndarray], dict]:
             arrays[entry["name"]] = np.memmap(
                 path, dtype=dtype, mode="r", offset=start, shape=shape
             )
+
+    if verify and footer_size:
+        _verify_checksums(path, arrays, _read_footer(path, data_end, footer_size))
     return arrays, header.get("meta", {})
+
+
+def _read_footer(path: Path, data_end: int, footer_size: int) -> dict[str, int]:
+    """Parse the checksum footer; raises ``ValueError`` when malformed."""
+    with path.open("rb") as handle:
+        handle.seek(data_end)
+        footer_line = handle.read(footer_size)
+    try:
+        footer = json.loads(footer_line)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: malformed checksum footer: {error}") from None
+    if not isinstance(footer, dict) or footer.get("format") != _FOOTER_MAGIC:
+        raise ValueError(f"{path}: not a {_FOOTER_MAGIC} footer")
+    checksums = footer.get("crc32")
+    if not isinstance(checksums, dict):
+        raise ValueError(f"{path}: checksum footer has no crc32 table")
+    return checksums
+
+
+def _verify_checksums(
+    path: Path, arrays: Mapping[str, np.ndarray], checksums: Mapping[str, int]
+) -> None:
+    for name, array in arrays.items():
+        recorded = checksums.get(name)
+        if recorded is None:
+            raise ValueError(f"{path}: array {name!r} missing from checksum footer")
+        computed = zlib.crc32(np.ascontiguousarray(array))
+        if computed != int(recorded):
+            raise ValueError(
+                f"{path}: checksum mismatch for array {name!r} "
+                f"(crc32 {computed} != recorded {recorded}); file is corrupt"
+            )

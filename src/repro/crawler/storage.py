@@ -306,6 +306,25 @@ def _pid_alive(pid: int) -> bool:
     return True
 
 
+def sweep_stale_temps(root: PathLike, pattern: str = "*.tmp*") -> int:
+    """Remove ``<name>.tmp<pid>`` atomic-write leftovers under ``root``.
+
+    Every atomic writer in the repo (dataset cache entries, checkpointed
+    shard files, run manifests) stages into ``<target>.tmp<pid>`` before
+    ``os.replace``; a writer killed between the two leaves the temp
+    behind.  A temp is swept only when its recorded pid is no longer
+    alive (``os.kill(pid, 0)`` probe), so concurrent writers are never
+    disturbed.  Returns the number of files removed.
+    """
+    removed = 0
+    for path in Path(root).glob(pattern):
+        match = _TEMP_RE.search(path.name)
+        if match and not _pid_alive(int(match.group(1))):
+            path.unlink(missing_ok=True)
+            removed += 1
+    return removed
+
+
 class DatasetCache:
     """A content-addressed on-disk cache of generated broadcast datasets.
 
@@ -340,10 +359,7 @@ class DatasetCache:
 
     def _sweep_stale_temps(self) -> None:
         """Remove atomic-write leftovers whose writer process is gone."""
-        for path in self.root.glob("trace-*.tmp*"):
-            match = _TEMP_RE.search(path.name)
-            if match and not _pid_alive(int(match.group(1))):
-                path.unlink(missing_ok=True)
+        sweep_stale_temps(self.root, "trace-*.tmp*")
 
     def path_for(self, key: str, fmt: Optional[str] = None) -> Path:
         if not _CACHE_KEY_RE.match(key):

@@ -1,0 +1,206 @@
+"""Deterministic fault injection for the generation pipeline itself.
+
+:mod:`repro.faults` makes the *simulated* livestreaming system breakable
+on purpose; this module applies the same philosophy to the machinery that
+generates its workload traces.  A fault plan — parsed from the
+``REPRO_TRACE_FAULTS`` environment variable so it reaches pool worker
+processes for free — names exactly which shard fails, how, and on which
+attempt, so the recovery paths in :mod:`repro.parallel.generate` are
+provable instead of hoped-for.
+
+Syntax: comma-separated ``kind@shard=N`` specs; each spec may add
+``&attempt=K`` (default ``0``: only the first try fails, so a retry
+succeeds) with ``*`` meaning *every* shard / attempt::
+
+    REPRO_TRACE_FAULTS="kill-worker@shard=3,truncate-shard@shard=5"
+    REPRO_TRACE_FAULTS="hang@shard=2"
+    REPRO_TRACE_FAULTS="kill-worker@shard=*&attempt=*"   # pool never survives
+
+Kinds — the first three fire *inside a pool worker* just before the
+shard generates (they never fire on the in-process path, so graceful
+degradation is always a way out); the last two fire in the parent after
+a shard file is published to a checkpointed run directory, manufacturing
+exactly the on-disk damage a resume must detect:
+
+``kill-worker``
+    the worker dies with ``os._exit(1)`` — the parent sees a
+    ``BrokenProcessPool`` and must rebuild the pool and resubmit.
+``hang``
+    the worker sleeps far past any sane deadline — the parent's
+    per-shard deadline must kill and rebuild the pool.
+``fail``
+    the worker raises :class:`PipelineFaultError` — an ordinary task
+    failure the per-shard retry must absorb.
+``truncate-shard``
+    the published ``shard-NNNNN.arrays`` file is cut in half — a resume
+    must spot the short file and regenerate the shard.
+``corrupt-shard``
+    one data byte of the published shard file is flipped, size
+    unchanged — only the checksum footer can catch this one.
+
+Because every day draws from its own seed-derived substream, a re-run
+shard is byte-identical to the one that failed, so none of these faults
+can change the merged dataset — the chaos-pipeline check asserts it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Optional, Union
+
+#: Environment variable holding the pipeline fault plan (parsed lazily,
+#: per shard attempt, so pool workers pick it up through inheritance).
+FAULTS_ENV = "REPRO_TRACE_FAULTS"
+
+#: Fault kinds injected inside a pool worker, before shard generation.
+WORKER_FAULT_KINDS = ("kill-worker", "hang", "fail")
+#: Fault kinds injected in the parent, after a shard file is published.
+PERSIST_FAULT_KINDS = ("truncate-shard", "corrupt-shard")
+FAULT_KINDS = WORKER_FAULT_KINDS + PERSIST_FAULT_KINDS
+
+#: How long a ``hang`` fault sleeps — far past any deadline a test or
+#: chaos run configures, short enough that a leaked worker eventually
+#: exits on its own.
+HANG_SECONDS = 3600.0
+
+
+class PipelineFaultError(RuntimeError):
+    """The injected, retriable worker failure raised by a ``fail`` fault."""
+
+
+@dataclass(frozen=True)
+class PipelineFault:
+    """One injected pipeline fault: what, which shard, which attempt."""
+
+    kind: str
+    shard_id: Optional[int]  # None = every shard
+    attempt: Optional[int] = 0  # None = every attempt
+
+    def matches(self, shard_id: int, attempt: int) -> bool:
+        if self.shard_id is not None and self.shard_id != shard_id:
+            return False
+        return self.attempt is None or self.attempt == attempt
+
+
+def _parse_field(spec: str, key: str, value: str) -> Optional[int]:
+    if value == "*":
+        return None
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ValueError(
+            f"bad pipeline fault spec {spec!r}: {key} must be an integer or '*', "
+            f"got {value!r}"
+        ) from None
+    if parsed < 0:
+        raise ValueError(f"bad pipeline fault spec {spec!r}: {key} must be >= 0")
+    return parsed
+
+
+def parse_fault_plan(text: str) -> tuple[PipelineFault, ...]:
+    """Parse a fault plan string; raises ``ValueError`` with the offending
+    spec and the accepted syntax on any malformed input."""
+    faults = []
+    for spec in filter(None, (part.strip() for part in text.split(","))):
+        kind, at, fields = spec.partition("@")
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown pipeline fault kind {kind!r} in {spec!r}; "
+                f"expected one of {FAULT_KINDS}"
+            )
+        if not at:
+            raise ValueError(
+                f"bad pipeline fault spec {spec!r}: expected 'kind@shard=N[&attempt=K]'"
+            )
+        shard_id: Optional[int] = 0
+        attempt: Optional[int] = 0
+        seen = set()
+        for item in fields.split("&"):
+            key, eq, value = item.partition("=")
+            if not eq or key not in ("shard", "attempt") or key in seen:
+                raise ValueError(
+                    f"bad pipeline fault spec {spec!r}: expected "
+                    f"'kind@shard=N[&attempt=K]', got field {item!r}"
+                )
+            seen.add(key)
+            if key == "shard":
+                shard_id = _parse_field(spec, key, value)
+            else:
+                attempt = _parse_field(spec, key, value)
+        if "shard" not in seen:
+            raise ValueError(f"bad pipeline fault spec {spec!r}: missing shard=N")
+        faults.append(PipelineFault(kind=kind, shard_id=shard_id, attempt=attempt))
+    return tuple(faults)
+
+
+@lru_cache(maxsize=8)
+def _cached_plan(text: str) -> tuple[PipelineFault, ...]:
+    try:
+        return parse_fault_plan(text)
+    except ValueError as error:
+        raise ValueError(f"invalid {FAULTS_ENV}: {error}") from None
+
+
+def fault_plan_from_env() -> tuple[PipelineFault, ...]:
+    """The active fault plan from ``REPRO_TRACE_FAULTS`` (usually empty).
+
+    Raises ``ValueError`` naming the variable on malformed input, so a
+    typo'd plan fails the run up front instead of silently injecting
+    nothing.
+    """
+    return _cached_plan(os.environ.get(FAULTS_ENV, ""))
+
+
+def inject_worker_fault(
+    plan: tuple[PipelineFault, ...], shard_id: int, attempt: int
+) -> None:
+    """Fire any matching worker-side fault.  Called from pool workers only
+    — never from the in-process path, where ``kill-worker`` would take the
+    parent down with it."""
+    for fault in plan:
+        if fault.kind not in WORKER_FAULT_KINDS or not fault.matches(shard_id, attempt):
+            continue
+        if fault.kind == "kill-worker":
+            os._exit(1)
+        if fault.kind == "hang":
+            time.sleep(HANG_SECONDS)
+        raise PipelineFaultError(
+            f"injected pipeline fault: shard {shard_id} attempt {attempt}"
+        )
+
+
+def inject_persist_fault(
+    plan: tuple[PipelineFault, ...],
+    shard_id: int,
+    attempt: int,
+    path: Union[str, Path],
+) -> bool:
+    """Damage a just-published shard file per the plan; True if it fired.
+
+    ``truncate-shard`` halves the file (a short write / full disk);
+    ``corrupt-shard`` flips one byte inside the *first non-empty array
+    block* — found through the file's own header so the flip never lands
+    in padding, where no checksum covers it — leaving the size intact so
+    only the checksum footer can convict the file.
+    """
+    path = Path(path)
+    fired = False
+    for fault in plan:
+        if fault.kind not in PERSIST_FAULT_KINDS or not fault.matches(shard_id, attempt):
+            continue
+        data = bytearray(path.read_bytes())
+        if fault.kind == "truncate-shard":
+            del data[len(data) // 2 :]
+        else:
+            header_end = data.index(b"\n") + 1
+            header = json.loads(data[:header_end])
+            entry = next(e for e in header["arrays"] if e["shape"] != [0])
+            data[header_end + int(entry["offset"])] ^= 0xFF
+        path.write_bytes(bytes(data))
+        fired = True
+    return fired

@@ -16,6 +16,17 @@ module fans generation out over a :class:`~concurrent.futures.ProcessPoolExecuto
   and CDF buffers — and workers return their day columns the same way,
   through per-shard array files the parent maps back (the legacy
   ``transport="pickle"`` path is kept for comparison and testing),
+* the pool loop *survives its workers*: shards are submitted individually
+  and retried with capped backoff on failure, a per-shard deadline
+  (``REPRO_TRACE_SHARD_DEADLINE``) convicts hung workers, a
+  ``BrokenProcessPool`` rebuilds the pool and resubmits only unfinished
+  shards, and after ``REPRO_TRACE_POOL_REBUILDS`` rebuilds generation
+  degrades to the in-process walk rather than give up — all of which is
+  output-invariant because re-run shards are byte-identical by
+  construction,
+* with a ``run_dir``, every finished shard is checkpointed through
+  :class:`repro.parallel.checkpoint.RunCheckpoint` (atomic shard files +
+  manifest), so an interrupted run resumes without repeating done shards,
 * workloads too small to amortize pool startup fall back to the
   in-process walk (``MIN_BROADCASTS_PER_WORKER``) — the fallback only
   changes scheduling, never bytes,
@@ -28,9 +39,14 @@ module fans generation out over a :class:`~concurrent.futures.ProcessPoolExecuto
   precompute, so a hit costs a read, not a graph build; the follow graph
   itself is cached next to the datasets as a mappable array file.
 
+Recovery paths are provable: the :mod:`repro.parallel.faults` harness
+(``REPRO_TRACE_FAULTS``) injects worker kills, hangs, task failures, and
+shard-file corruption on demand, and the crash-path tests assert the
+faulted output stays byte-identical to a clean run.
+
 Per-phase wall times (graph build, context, generation, merge), shard
-timings, and cache traffic are published through the :mod:`repro.obs`
-registry passed in (no-op by default).
+timings, retry/rebuild/resume counts, and cache traffic are published
+through the :mod:`repro.obs` registry passed in (no-op by default).
 """
 
 from __future__ import annotations
@@ -39,13 +55,24 @@ import hashlib
 import os
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
-from itertools import repeat
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Optional, Union
+
+import numpy as np
 
 from repro.obs import NULL_REGISTRY
 from repro.crawler.arrayfile import read_arrays, write_arrays
+from repro.parallel.checkpoint import RunCheckpoint, shard_filename
+from repro.parallel.faults import (
+    PERSIST_FAULT_KINDS,
+    PipelineFault,
+    fault_plan_from_env,
+    inject_persist_fault,
+    inject_worker_fault,
+)
 from repro.parallel.sharding import ShardSpec, plan_shards
 from repro.social.graph import CompiledGraph
 from repro.workload.trace import (
@@ -64,11 +91,41 @@ from repro.workload.trace import (
 #: page-aligned array files workers attach with ``np.memmap``;
 #: ``"pickle"`` is the legacy initargs/return-value path.
 TRANSPORTS = ("mmap", "pickle")
+TRANSPORT_ENV = "REPRO_TRACE_TRANSPORT"
 
 #: Below this expected per-worker broadcast volume a process pool costs
 #: more than it saves, so generation stays in-process.  Overridable via
 #: ``REPRO_TRACE_MIN_PER_WORKER`` (tests set ``0`` to force the pool).
 MIN_BROADCASTS_PER_WORKER = 20_000
+MIN_PER_WORKER_ENV = "REPRO_TRACE_MIN_PER_WORKER"
+
+#: Per-shard retry budget: a shard may fail this many times (worker
+#: exception, killed worker, blown deadline) before the run errors out.
+#: Kept above the pool-rebuild cap so shards that merely *shared a pool*
+#: with a crashing one never exhaust their budget before degradation.
+DEFAULT_SHARD_RETRIES = 4
+SHARD_RETRIES_ENV = "REPRO_TRACE_SHARD_RETRIES"
+
+#: Per-shard wall-clock deadline in seconds, measured from when the
+#: shard's future is first observed running; ``0`` (the default)
+#: disables it.  A blown deadline is treated as a pool failure — the
+#: hung worker cannot be cancelled, only its pool killed.
+DEFAULT_SHARD_DEADLINE = 0.0
+SHARD_DEADLINE_ENV = "REPRO_TRACE_SHARD_DEADLINE"
+
+#: How many times the pool is rebuilt after breaking before generation
+#: degrades to the in-process walk for the remaining shards.
+DEFAULT_POOL_REBUILDS = 3
+POOL_REBUILDS_ENV = "REPRO_TRACE_POOL_REBUILDS"
+
+#: Retry backoff: ``min(base * 2**(attempt-1), cap)`` seconds before a
+#: shard's re-submission — enough to let a transient (fd pressure, a
+#: dying sibling) clear, bounded so chaos tests stay fast.
+_BACKOFF_BASE = 0.05
+_BACKOFF_CAP = 1.0
+
+#: Poll interval for the deadline clock; only paid when a deadline is set.
+_POLL_SECONDS = 0.05
 
 #: ShardContext array fields shipped through the mmap transport (the
 #: remaining fields — config and audience_cap — travel as initargs).
@@ -101,6 +158,73 @@ _COLUMN_FIELDS = (
 _WORKER_CONTEXT: Optional[ShardContext] = None
 
 
+# -- env knobs ----------------------------------------------------------
+
+
+def _env_int(name: str, default: int) -> int:
+    """An integer env knob; raises ``ValueError`` naming the variable."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid {name}={raw!r}: expected an integer (default {default})"
+        ) from None
+
+
+def _env_float(name: str, default: float) -> float:
+    """A float env knob; raises ``ValueError`` naming the variable."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid {name}={raw!r}: expected a number (default {default})"
+        ) from None
+
+
+def resolve_transport(transport: Optional[str] = None) -> str:
+    """Validate a transport choice, naming its source in the error.
+
+    ``None`` consults ``REPRO_TRACE_TRANSPORT`` (default ``"mmap"``); an
+    unknown value — passed or from the environment — raises a
+    ``ValueError`` listing the accepted transports.
+    """
+    source = "transport argument"
+    if transport is None:
+        transport = os.environ.get(TRANSPORT_ENV, "mmap")
+        source = f"{TRANSPORT_ENV} environment variable"
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r} (from {source}); "
+            f"expected one of {TRANSPORTS}"
+        )
+    return transport
+
+
+def validate_environment() -> None:
+    """Fail fast on malformed generation env knobs.
+
+    Called at the top of :func:`generate_trace` so a typo'd
+    ``REPRO_TRACE_*`` variable errors out before the graph build, not
+    minutes into it.  Each check raises ``ValueError`` naming the
+    variable and the accepted values.
+    """
+    resolve_transport()
+    fault_plan_from_env()
+    _env_int(MIN_PER_WORKER_ENV, MIN_BROADCASTS_PER_WORKER)
+    _env_int(SHARD_RETRIES_ENV, DEFAULT_SHARD_RETRIES)
+    _env_float(SHARD_DEADLINE_ENV, DEFAULT_SHARD_DEADLINE)
+    _env_int(POOL_REBUILDS_ENV, DEFAULT_POOL_REBUILDS)
+
+
+# -- worker-side shard execution ---------------------------------------
+
+
 def _init_worker(context: ShardContext) -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = context
@@ -119,36 +243,63 @@ def _init_worker_mapped(config: TraceConfig, audience_cap: int, context_path: st
 
 
 def _run_shard(
-    spec: ShardSpec, context: Optional[ShardContext] = None
+    spec: ShardSpec, context: Optional[ShardContext] = None, attempt: int = 0
 ) -> tuple[int, list[BroadcastColumns], float]:
-    """Generate one shard's day range; returns (shard_id, day columns, seconds)."""
+    """Generate one shard's day range; returns (shard_id, day columns, seconds).
+
+    Worker-side pipeline faults fire only on the pooled path (``context``
+    is ``None``) — an injected ``os._exit`` must kill a *worker*, never
+    the parent running the in-process fallback.
+    """
     ctx = context if context is not None else _WORKER_CONTEXT
     if ctx is None:
         raise RuntimeError("worker process has no shard context (initializer not run)")
+    if context is None:
+        inject_worker_fault(fault_plan_from_env(), spec.shard_id, attempt)
     started = time.perf_counter()
     day_columns = [generate_day_columns(ctx, day) for day in spec.days()]
     return spec.shard_id, day_columns, time.perf_counter() - started
 
 
-def _run_shard_mapped(spec: ShardSpec, out_dir: str) -> tuple[int, str, int, float]:
-    """Generate one shard and write its day columns to an array file.
-
-    Returns ``(shard_id, path, n_days, seconds)`` — only metadata crosses
-    the process boundary; the parent maps the columns back.
-    """
-    shard_id, day_columns, seconds = _run_shard(spec)
+def _columns_to_arrays(day_columns: list[BroadcastColumns]) -> dict[str, np.ndarray]:
+    """Flatten per-day column batches into array-file entries."""
     arrays = {}
     for position, columns in enumerate(day_columns):
         for field in _COLUMN_FIELDS:
             arrays[f"{position:03d}/{field}"] = getattr(columns, field)
-    path = Path(out_dir) / f"shard-{spec.shard_id:05d}.arrays"
-    write_arrays(path, arrays, meta={"n_days": len(day_columns)})
-    return shard_id, str(path), len(day_columns), seconds
+    return arrays
 
 
-def _read_shard_columns(path: str, app_name: str) -> list[BroadcastColumns]:
-    """Map a worker's shard file back as per-day column batches."""
+def _run_shard_mapped(
+    spec: ShardSpec, out_dir: str, attempt: int = 0
+) -> tuple[int, str, int, float]:
+    """Generate one shard and write its day columns to an array file.
+
+    The file is written under a ``.tmp<pid>`` name — the parent promotes
+    it with ``os.replace`` (directly, or through the run checkpoint), so
+    a worker killed mid-write can never leave a plausible-looking shard
+    file behind.  Returns ``(shard_id, temp_path, n_days, seconds)`` —
+    only metadata crosses the process boundary; the parent maps the
+    columns back.
+    """
+    shard_id, day_columns, seconds = _run_shard(spec, attempt=attempt)
+    temp = Path(out_dir) / f"{shard_filename(spec.shard_id)}.tmp{os.getpid()}"
+    write_arrays(temp, _columns_to_arrays(day_columns), meta={"n_days": len(day_columns)})
+    return shard_id, str(temp), len(day_columns), seconds
+
+
+def _read_shard_columns(
+    path: Union[str, Path], app_name: str, copy: bool = False
+) -> list[BroadcastColumns]:
+    """Map a shard file back as per-day column batches.
+
+    ``copy=True`` materializes the columns in RAM instead of leaving them
+    as ``np.memmap`` views — required before deliberately damaging the
+    file (persist-fault injection), where a mapped view would SIGBUS.
+    """
     arrays, meta = read_arrays(path)
+    if copy:
+        arrays = {name: np.array(array, copy=True) for name, array in arrays.items()}
     return [
         BroadcastColumns(
             app_name=app_name,
@@ -169,11 +320,170 @@ def effective_workers(config: TraceConfig, n_shards: int) -> int:
     workers = min(config.workers, n_shards)
     if workers <= 1:
         return 1
-    floor = int(os.environ.get("REPRO_TRACE_MIN_PER_WORKER", MIN_BROADCASTS_PER_WORKER))
+    floor = _env_int(MIN_PER_WORKER_ENV, MIN_BROADCASTS_PER_WORKER)
     expected = config.growth.total_broadcasts() * config.scale
     if expected < floor * workers:
         return 1
     return workers
+
+
+# -- resilient pool loop ------------------------------------------------
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now* — hung or crashed workers included."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        process.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _persist_fault_pending(
+    plan: tuple[PipelineFault, ...], shard_id: int, attempt: int
+) -> bool:
+    return any(
+        fault.kind in PERSIST_FAULT_KINDS and fault.matches(shard_id, attempt)
+        for fault in plan
+    )
+
+
+def _run_shards_resilient(
+    pending: list[ShardSpec],
+    make_pool: Callable[[], ProcessPoolExecutor],
+    submit_shard: Callable[[ProcessPoolExecutor, ShardSpec, int], Future],
+    handle_result: Callable[[ShardSpec, int, tuple], None],
+    run_inline: Callable[[ShardSpec, int], None],
+    registry,
+) -> None:
+    """Drive shard futures to completion through worker failures.
+
+    Individual task failures are retried with capped backoff up to
+    ``REPRO_TRACE_SHARD_RETRIES`` extra attempts.  Pool-level failures —
+    a ``BrokenProcessPool`` (crashed worker) or a shard blowing the
+    ``REPRO_TRACE_SHARD_DEADLINE`` clock — kill the pool, bump the
+    attempt count of every in-flight shard (their work died with the
+    pool), and rebuild; after ``REPRO_TRACE_POOL_REBUILDS`` rebuilds the
+    remaining shards run in-process instead.  None of this can change
+    the merged bytes: a re-run shard regenerates the exact same columns.
+    """
+    max_retries = _env_int(SHARD_RETRIES_ENV, DEFAULT_SHARD_RETRIES)
+    deadline = _env_float(SHARD_DEADLINE_ENV, DEFAULT_SHARD_DEADLINE)
+    rebuild_cap = _env_int(POOL_REBUILDS_ENV, DEFAULT_POOL_REBUILDS)
+
+    retries_counter = registry.counter(
+        "trace.shard_retries", "shard generation attempts retried"
+    )
+    failures_counter = registry.counter(
+        "trace.worker_failures", "pool-level worker failures (crash or deadline)"
+    )
+    rebuilds_counter = registry.counter(
+        "trace.pool_rebuilds", "process pools rebuilt after worker failures"
+    )
+
+    queue = deque(sorted(pending, key=lambda spec: spec.shard_id))
+    attempts: dict[int, int] = {spec.shard_id: 0 for spec in pending}
+    inflight: dict[Future, tuple[ShardSpec, int]] = {}
+    running_since: dict[Future, float] = {}
+    rebuilds = 0
+    pool = make_pool()
+
+    def _charge(spec: ShardSpec, cause: BaseException | str) -> None:
+        """Bill one failed attempt to ``spec``; error out past the budget."""
+        attempts[spec.shard_id] += 1
+        if attempts[spec.shard_id] > max_retries:
+            raise RuntimeError(
+                f"shard {spec.shard_id} failed after {attempts[spec.shard_id]} "
+                f"attempts (last failure: {cause}); raise {SHARD_RETRIES_ENV} "
+                "or inspect the worker logs"
+            ) from (cause if isinstance(cause, BaseException) else None)
+        queue.append(spec)
+
+    try:
+        while queue or inflight:
+            broken = False
+            while queue and not broken:
+                spec = queue.popleft()
+                attempt = attempts[spec.shard_id]
+                if attempt:
+                    time.sleep(min(_BACKOFF_BASE * 2 ** (attempt - 1), _BACKOFF_CAP))
+                try:
+                    future = submit_shard(pool, spec, attempt)
+                except BrokenProcessPool:
+                    queue.appendleft(spec)
+                    broken = True
+                else:
+                    inflight[future] = (spec, attempt)
+
+            hung = False
+            if not broken and inflight:
+                done, _ = wait(
+                    set(inflight),
+                    timeout=_POLL_SECONDS if deadline else None,
+                    return_when=FIRST_COMPLETED,
+                )
+                now = time.perf_counter()
+                for future in done:
+                    spec, attempt = inflight.pop(future)
+                    running_since.pop(future, None)
+                    error = future.exception()
+                    if error is None:
+                        handle_result(spec, attempt, future.result())
+                    elif isinstance(error, BrokenProcessPool):
+                        # The pool died under this shard; the common
+                        # requeue below charges it with the rest.
+                        inflight[future] = (spec, attempt)
+                        broken = True
+                    else:
+                        retries_counter.inc()
+                        _charge(spec, error)
+                if deadline and not broken:
+                    for future in inflight:
+                        if not future.running():
+                            continue
+                        started = running_since.setdefault(future, now)
+                        if now - started > deadline:
+                            hung = True
+                    broken = hung
+
+            if broken:
+                failures_counter.inc()
+                _kill_pool(pool)
+                # Harvest in-flight futures that actually finished before
+                # the pool died; everything else is charged and requeued.
+                casualties = []
+                for future, (spec, attempt) in inflight.items():
+                    if future.done() and future.exception() is None:
+                        handle_result(spec, attempt, future.result())
+                    else:
+                        casualties.append(spec)
+                inflight.clear()
+                running_since.clear()
+                for spec in casualties:
+                    retries_counter.inc()
+                    _charge(spec, "deadline exceeded" if hung else "worker crashed")
+                rebuilds += 1
+                if rebuilds > rebuild_cap:
+                    # The pool keeps dying — finish in-process, which no
+                    # worker fault can touch.  Same bytes, no parallelism.
+                    registry.counter(
+                        "trace.pool_degraded",
+                        "generation runs degraded to in-process after repeated "
+                        "pool failures",
+                    ).inc()
+                    while queue:
+                        spec = queue.popleft()
+                        run_inline(spec, attempts[spec.shard_id])
+                    return
+                rebuilds_counter.inc()
+                pool = make_pool()
+        pool.shutdown(wait=True)
+        pool = None
+    finally:
+        if pool is not None:
+            _kill_pool(pool)
+
+
+# -- dataset generation -------------------------------------------------
 
 
 def generate_dataset(
@@ -181,6 +491,8 @@ def generate_dataset(
     context: ShardContext,
     registry=NULL_REGISTRY,
     transport: Optional[str] = None,
+    run_dir: Optional[Union[str, Path]] = None,
+    resume: bool = True,
 ) -> BroadcastDataset:
     """Generate the broadcast dataset from a prebuilt context.
 
@@ -189,13 +501,24 @@ def generate_dataset(
     and results cross the process boundary (``"mmap"`` default,
     ``"pickle"`` legacy; env override ``REPRO_TRACE_TRANSPORT``) and is
     equally output-invariant.
+
+    With a ``run_dir``, finished shards are checkpointed there
+    (:class:`~repro.parallel.checkpoint.RunCheckpoint`) and — when
+    ``resume`` is true — shards already journaled ``done`` are loaded
+    from disk instead of regenerated, so an interrupted run repeats no
+    finished work.  Checkpointing never changes the merged bytes.
     """
-    transport = transport or os.environ.get("REPRO_TRACE_TRANSPORT", "mmap")
-    if transport not in TRANSPORTS:
-        raise ValueError(f"unknown transport {transport!r}; expected one of {TRANSPORTS}")
+    transport = resolve_transport(transport)
+    fault_plan = fault_plan_from_env()
 
     specs = plan_shards(config.growth.days, shards=config.shards, workers=config.workers)
     workers = effective_workers(config, len(specs))
+
+    checkpoint: Optional[RunCheckpoint] = None
+    if run_dir is not None:
+        checkpoint = RunCheckpoint.open(
+            run_dir, config.cache_key(), specs, resume=resume
+        )
 
     registry.gauge("trace.workers", "worker processes used for generation").set(workers)
     registry.gauge("trace.shards", "day-range shards generated").set(len(specs))
@@ -205,40 +528,109 @@ def generate_dataset(
 
     generate_started = time.perf_counter()
     results: dict[int, list[BroadcastColumns]] = {}
+
+    if checkpoint is not None and checkpoint.done_shards:
+        for shard_id in sorted(checkpoint.done_shards):
+            results[shard_id] = _read_shard_columns(
+                checkpoint.shard_path(shard_id), config.app_name
+            )
+        registry.counter(
+            "trace.shards_resumed", "checkpointed shards loaded instead of regenerated"
+        ).inc(checkpoint.resumed)
+    pending = [spec for spec in specs if spec.shard_id not in results]
+
+    def _checkpoint_columns(
+        spec: ShardSpec, attempt: int, day_columns: list[BroadcastColumns]
+    ) -> None:
+        """Journal parent-held columns (in-process and pickle paths)."""
+        if checkpoint is None:
+            return
+        path = checkpoint.write_shard(
+            spec.shard_id,
+            _columns_to_arrays(day_columns),
+            meta={"n_days": len(day_columns)},
+        )
+        inject_persist_fault(fault_plan, spec.shard_id, attempt, path)
+
+    def _finish_inline(spec: ShardSpec, attempt: int = 0) -> None:
+        """Generate one shard in-process (fallback and degraded modes)."""
+        shard_id, day_columns, seconds = _run_shard(spec, context)
+        _checkpoint_columns(spec, attempt, day_columns)
+        results[shard_id] = day_columns
+        shard_seconds.observe(seconds)
+
     if workers <= 1:
         # In-process fallback: same shard walk, no executor.
-        for spec in specs:
-            shard_id, day_columns, seconds = _run_shard(spec, context)
+        for spec in pending:
+            _finish_inline(spec)
+    elif not pending:
+        pass  # fully resumed: nothing left to schedule
+    elif transport == "pickle":
+
+        def _handle_pickle(spec: ShardSpec, attempt: int, result: tuple) -> None:
+            shard_id, day_columns, seconds = result
+            _checkpoint_columns(spec, attempt, day_columns)
             results[shard_id] = day_columns
             shard_seconds.observe(seconds)
-    elif transport == "pickle":
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=_init_worker, initargs=(context,)
-        ) as pool:
-            for shard_id, day_columns, seconds in pool.map(_run_shard, specs):
-                results[shard_id] = day_columns
-                shard_seconds.observe(seconds)
+
+        _run_shards_resilient(
+            pending,
+            make_pool=lambda: ProcessPoolExecutor(
+                max_workers=workers, initializer=_init_worker, initargs=(context,)
+            ),
+            submit_shard=lambda pool, spec, attempt: pool.submit(
+                _run_shard, spec, None, attempt
+            ),
+            handle_result=_handle_pickle,
+            run_inline=_finish_inline,
+            registry=registry,
+        )
     else:
         # Zero-copy transport: context goes out as one mapped file, day
-        # columns come back as per-shard files.  The temp dir is removed
-        # as soon as the columns are mapped — on POSIX the mappings (and
-        # thus the merged dataset) survive the unlink.
+        # columns come back as per-shard files.  With a checkpoint the
+        # shard files live (and stay) in the run dir; otherwise they sit
+        # in a temp dir removed as soon as the columns are mapped — on
+        # POSIX the mappings (and thus the merged dataset) survive the
+        # unlink.
         with tempfile.TemporaryDirectory(prefix="repro-trace-") as tmp:
             context_path = Path(tmp) / "context.arrays"
             write_arrays(
                 context_path,
                 {name: getattr(context, name) for name in _CONTEXT_ARRAY_FIELDS},
             )
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker_mapped,
-                initargs=(config, context.audience_cap, str(context_path)),
-            ) as pool:
-                for shard_id, path, _n_days, seconds in pool.map(
-                    _run_shard_mapped, specs, repeat(tmp)
-                ):
-                    results[shard_id] = _read_shard_columns(path, config.app_name)
-                    shard_seconds.observe(seconds)
+            out_dir = str(checkpoint.root) if checkpoint is not None else tmp
+
+            def _handle_mapped(spec: ShardSpec, attempt: int, result: tuple) -> None:
+                shard_id, temp_path, _n_days, seconds = result
+                if checkpoint is not None:
+                    path = checkpoint.publish_shard(shard_id, temp_path)
+                else:
+                    path = Path(tmp) / shard_filename(shard_id)
+                    os.replace(temp_path, path)
+                # A persist fault about to damage this file means the
+                # mapped view would SIGBUS — materialize in RAM first.
+                will_fault = _persist_fault_pending(fault_plan, shard_id, attempt)
+                results[shard_id] = _read_shard_columns(
+                    path, config.app_name, copy=will_fault
+                )
+                if checkpoint is not None:
+                    inject_persist_fault(fault_plan, shard_id, attempt, path)
+                shard_seconds.observe(seconds)
+
+            _run_shards_resilient(
+                pending,
+                make_pool=lambda: ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_worker_mapped,
+                    initargs=(config, context.audience_cap, str(context_path)),
+                ),
+                submit_shard=lambda pool, spec, attempt: pool.submit(
+                    _run_shard_mapped, spec, out_dir, attempt
+                ),
+                handle_result=_handle_mapped,
+                run_inline=_finish_inline,
+                registry=registry,
+            )
     registry.gauge(
         "trace.generate_seconds", "wall seconds in per-day generation (all shards)"
     ).set(time.perf_counter() - generate_started)
@@ -319,18 +711,27 @@ def generate_trace(
     cache_dir: Optional[Union[str, Path]] = None,
     registry=NULL_REGISTRY,
     cache_format: str = "v2",
+    run_dir: Optional[Union[str, Path]] = None,
+    resume: bool = True,
 ) -> WorkloadTrace:
     """Generate (or load from cache) a full :class:`WorkloadTrace`.
 
-    The dataset cache is probed *first*: a hit costs the read plus the
-    cheap population pools (their substream is independent of the
-    graph's), and the follow graph becomes a lazy attribute — built, or
-    attached from the graph cache, only if an analysis actually touches
-    ``trace.graph``.  Only on a miss does the full precompute run.
-    ``cache_format`` picks the cache serialization (``"v2"`` binary
-    columnar, ``"v1"`` gzipped JSONL, ``"mmap"`` uncompressed mappable
-    columns); all store the identical dataset.
+    The environment knobs are validated *first* (a garbage
+    ``REPRO_TRACE_*`` value fails here, not mid-run), then the dataset
+    cache is probed: a hit costs the read plus the cheap population
+    pools (their substream is independent of the graph's), and the
+    follow graph becomes a lazy attribute — built, or attached from the
+    graph cache, only if an analysis actually touches ``trace.graph``.
+    Only on a miss does the full precompute run.  ``cache_format`` picks
+    the cache serialization (``"v2"`` binary columnar, ``"v1"`` gzipped
+    JSONL, ``"mmap"`` uncompressed mappable columns); all store the
+    identical dataset.
+
+    ``run_dir`` / ``resume`` enable shard checkpointing — see
+    :func:`generate_dataset` and :mod:`repro.parallel.checkpoint`.
     """
+    validate_environment()
+
     cache = None
     dataset: Optional[BroadcastDataset] = None
     if cache_dir is not None:
@@ -370,7 +771,9 @@ def generate_trace(
         "trace.context_seconds", "wall seconds in precompute (graph + pools)"
     ).set(graph_seconds + (time.perf_counter() - context_started))
 
-    dataset = generate_dataset(config, context, registry=registry)
+    dataset = generate_dataset(
+        config, context, registry=registry, run_dir=run_dir, resume=resume
+    )
     if cache is not None:
         cache.put(config.cache_key(), dataset)
 

@@ -47,6 +47,36 @@ def live_broadcast(service):
     return service.start_broadcast(broadcaster_id=1, time=0.0)
 
 
+#: A pid no real process can hold (above every default pid_max) — the
+#: canonical "writer died" pid for stale-temp tests.
+DEAD_WRITER_PID = 2**22 + 1
+
+
+@pytest.fixture
+def stale_temp_harness(tmp_path):
+    """Shared exercise for every ``*.tmp<pid>`` sweep in the repo.
+
+    Plants two orphan temp files in a directory — one from a writer that
+    can no longer exist (:data:`DEAD_WRITER_PID`) and one from this very
+    process — runs the caller's *opener* (whatever triggers the sweep:
+    ``DatasetCache(...)``, ``RunCheckpoint.open(...)``), and asserts the
+    dead writer's file was removed while the live writer's survived.
+    """
+    import os
+
+    def run(opener, dead_name: str, live_name: str):
+        dead = tmp_path / dead_name.format(pid=DEAD_WRITER_PID)
+        live = tmp_path / live_name.format(pid=os.getpid())
+        dead.write_bytes(b"partial")
+        live.write_bytes(b"in flight")
+        opener(tmp_path)
+        assert not dead.exists(), "dead writer's temp file should be swept"
+        assert live.exists(), "live writer's temp file must be left alone"
+        return tmp_path
+
+    return run
+
+
 @pytest.fixture
 def determinism_sanitizer():
     """The armed runtime determinism sanitizer (repro.lint.sanitizer).

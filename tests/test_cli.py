@@ -129,6 +129,76 @@ class TestTraceTarget:
 
         assert strip(sanitized) == strip(plain)
 
+    def test_trace_run_dir_reports_and_resumes(self, tmp_path, capsys):
+        args = [
+            "trace", "--scale", "0.0001", "--seed", "4",
+            "--shards", "4", "--run-dir", str(tmp_path / "run"),
+        ]
+        assert main(args) == 0
+        assert "run dir" in capsys.readouterr().out
+        assert main(args + ["--resume"]) == 0
+        assert "4 shards resumed" in capsys.readouterr().out
+
+    def test_trace_resume_requires_run_dir(self, capsys):
+        assert main(["trace", "--resume"]) == 2
+        assert "--resume requires --run-dir" in capsys.readouterr().err
+
+    def test_trace_existing_run_dir_without_resume_fails(self, tmp_path, capsys):
+        args = [
+            "trace", "--scale", "0.0001", "--seed", "4",
+            "--shards", "4", "--run-dir", str(tmp_path / "run"),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 2
+        err = capsys.readouterr().err
+        assert "already contains a run" in err
+        assert "Traceback" not in err
+
+    def test_trace_bad_env_knob_is_a_usage_error(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_TRACE_TRANSPORT", "carrier-pigeon")
+        assert main(["trace", "--scale", "0.0001", "--seed", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "REPRO_TRACE_TRANSPORT" in err
+        assert "Traceback" not in err
+
+    def test_trace_keyboard_interrupt_exits_130_with_resume_hint(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        """Ctrl-C prints checkpoint progress and the resume command."""
+        import repro.cli as cli_module
+        from repro.parallel import RunCheckpoint, plan_shards
+
+        run_dir = tmp_path / "run"
+
+        def interrupted(config, **kwargs):
+            # Simulate dying mid-run with two shards already journaled.
+            specs = plan_shards(config.growth.days, shards=4, workers=1)
+            checkpoint = RunCheckpoint.open(run_dir, config.cache_key(), specs)
+            import numpy as np
+
+            for shard_id in (0, 1):
+                checkpoint.write_shard(
+                    shard_id, {"x": np.arange(4, dtype=np.int64)}, meta={}
+                )
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module, "_render_trace", lambda args: interrupted(
+            __import__("repro.workload.trace", fromlist=["TraceConfig"]).TraceConfig.periscope(
+                scale=0.0001, seed=4, shards=4
+            )
+        ))
+        code = main(
+            ["trace", "--scale", "0.0001", "--seed", "4", "--shards", "4",
+             "--run-dir", str(run_dir)]
+        )
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "2/4 shards checkpointed" in err
+        assert f"repro trace --run-dir {run_dir} --resume" in err
+        assert "--scale 0.0001 --seed 4" in err
+        assert "Traceback" not in err
+
     def test_trace_sanitize_multiprocess_requires_pinned_hashseed(self, monkeypatch, capsys):
         from repro.lint.sanitizer import DeterminismViolation
 

@@ -284,25 +284,18 @@ class TestCacheFormats:
 
 
 class TestCacheHygiene:
-    def test_stale_temp_from_dead_writer_swept_on_init(self, small_dataset, tmp_path):
+    def test_stale_temps_swept_on_init(
+        self, small_dataset, tmp_path, stale_temp_harness
+    ):
+        """Dead writers' temps are swept; live writers' temps survive."""
         cache = DatasetCache(tmp_path)
         path = cache.put("key", small_dataset)
-        # A writer that died between write and rename: pid 2**22 + 1 is
-        # above every default pid_max, so it can never be alive.
-        stale = tmp_path / f"{path.name}.tmp{2**22 + 1}"
-        stale.write_bytes(b"partial")
-        swept = DatasetCache(tmp_path)
-        assert not stale.exists()
-        assert swept.get("key") is not None
-
-    def test_live_writer_temp_left_alone(self, small_dataset, tmp_path):
-        import os
-
-        DatasetCache(tmp_path)
-        live = tmp_path / f"trace-other.cols.gz.tmp{os.getpid()}"
-        live.write_bytes(b"in flight")
-        DatasetCache(tmp_path)
-        assert live.exists()
+        stale_temp_harness(
+            DatasetCache,
+            dead_name=f"{path.name}.tmp{{pid}}",
+            live_name="trace-other.cols.gz.tmp{pid}",
+        )
+        assert DatasetCache(tmp_path).get("key") is not None
 
     def test_put_cleans_temp_when_serialization_fails(
         self, small_dataset, tmp_path, monkeypatch
@@ -418,6 +411,53 @@ class TestArrayFile:
     def test_object_arrays_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="object"):
             write_arrays(tmp_path / "x.arrays", {"bad": np.array([{}, {}])})
+
+    def test_checksum_footer_convicts_flipped_byte(self, tmp_path):
+        """A one-byte flip keeps the structure valid but fails verify=True."""
+        path = tmp_path / "bundle.arrays"
+        write_arrays(path, {"a": np.arange(64, dtype=np.int64)})
+        read_arrays(path, verify=True)  # pristine file verifies
+        data = bytearray(path.read_bytes())
+        header_end = data.index(b"\n") + 1
+        data[header_end] ^= 0xFF
+        path.write_bytes(bytes(data))
+        read_arrays(path)  # structure still parses without verification
+        with pytest.raises(ValueError, match="checksum mismatch for array 'a'"):
+            read_arrays(path, verify=True)
+
+    def test_legacy_file_without_footer_still_loads(self, tmp_path):
+        """Pre-footer files (no footer_size in the header) load and verify
+        vacuously — there is nothing to check them against."""
+        path = tmp_path / "legacy.arrays"
+        original = {"a": np.arange(10, dtype=np.int64)}
+        write_arrays(path, original, footer=False)
+        with path.open("rb") as handle:
+            header = json.loads(handle.readline())
+        assert "footer_size" not in header
+        for verify in (False, True):
+            arrays, _meta = read_arrays(path, verify=verify)
+            assert np.array_equal(arrays["a"], original["a"])
+
+    def test_footer_included_in_truncation_check(self, tmp_path):
+        """Chopping exactly the footer off must not yield a valid file."""
+        path = tmp_path / "bundle.arrays"
+        write_arrays(path, {"a": np.arange(10, dtype=np.int64)})
+        with path.open("rb") as handle:
+            header = json.loads(handle.readline())
+        size = path.stat().st_size
+        with path.open("r+b") as handle:
+            handle.truncate(size - header["footer_size"])
+        with pytest.raises(ValueError, match="truncated"):
+            read_arrays(path)
+
+    def test_footer_write_is_deterministic(self, tmp_path):
+        """The checksummed format stays byte-deterministic."""
+        arrays = {"a": np.arange(100, dtype=np.int64), "b": np.linspace(0, 1, 33)}
+        first = tmp_path / "one.arrays"
+        second = tmp_path / "two.arrays"
+        write_arrays(first, arrays, meta={"tag": 1})
+        write_arrays(second, arrays, meta={"tag": 1})
+        assert first.read_bytes() == second.read_bytes()
 
 
 class TestTraceStorage:

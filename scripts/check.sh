@@ -13,6 +13,11 @@
 #                                             # kill a worker + truncate a
 #                                             # shard, require byte-identical
 #                                             # recovery and resume
+#   scripts/check.sh serve                    # closed-loop serving smoke:
+#                                             # toy serve-bench must shed
+#                                             # nothing and error nothing at
+#                                             # baseline, shed under a flash
+#                                             # crowd, and be seed-stable
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -68,6 +73,37 @@ fi
 
 if [[ "${1:-}" == "chaos-pipeline" ]]; then
     PYTHONPATH=src python scripts/chaos_pipeline.py
+    exit 0
+fi
+
+if [[ "${1:-}" == "serve" ]]; then
+    PYTHONPATH=src python - <<'EOF'
+from repro.service.loadgen import FlashCrowdConfig, LoadGenConfig, run_serve_bench
+
+toy = LoadGenConfig(n_clients=8, duration_s=20.0)
+baseline = run_serve_bench(seed=2016, config=toy)
+assert baseline.requests > 0, "baseline drove no requests"
+assert baseline.shed == 0, f"baseline shed {baseline.shed} requests"
+assert baseline.unavailable == 0, f"baseline saw {baseline.unavailable} 503s"
+assert baseline.errors == 0, f"baseline saw {baseline.errors} unshed errors"
+assert run_serve_bench(seed=2016, config=toy).to_dict() == baseline.to_dict(), \
+    "serve-bench not seed-stable"
+
+flash = LoadGenConfig(
+    n_clients=8, duration_s=25.0,
+    flash_crowd=FlashCrowdConfig(
+        start_s=8.0, duration_s=10.0, extra_clients=100, think_time_s=0.2
+    ),
+)
+crowd = run_serve_bench(seed=2016, config=flash)
+assert crowd.shed > 0, "flash crowd did not engage admission control"
+assert crowd.errors == 0, f"flash crowd saw {crowd.errors} unshed errors"
+print(
+    f"serve ok: baseline {baseline.requests} requests clean "
+    f"(p99 {baseline.latency_p99_s * 1e3:.0f} ms), "
+    f"flash crowd shed {crowd.shed}/{crowd.requests}"
+)
+EOF
     exit 0
 fi
 

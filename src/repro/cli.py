@@ -44,7 +44,10 @@ def build_parser() -> argparse.ArgumentParser:
             "resilient postures and prints the comparison; 'trace' "
             "generates a workload trace (optionally sharded across "
             "--workers processes, reusing --cache-dir) and prints a "
-            "summary; 'lint' runs the determinism linter (its own flags — "
+            "summary; 'serve-bench' drives the tiered serving layer with "
+            "closed-loop polling clients (--clients/--duration/"
+            "--flash-crowd/--no-admission) and prints latency and shed "
+            "rates; 'lint' runs the determinism linter (its own flags — "
             "see 'repro lint --help')."
         ),
     )
@@ -62,6 +65,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--intensity", type=float, default=None,
         help="fault intensity for the 'chaos' target (default 1.0)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=None,
+        help="closed-loop clients for the 'serve-bench' target (default 16)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="simulated seconds for the 'serve-bench' target (default 60)",
+    )
+    parser.add_argument(
+        "--flash-crowd", action="store_true",
+        help=(
+            "hit the 'serve-bench' run with a mid-run flash crowd "
+            "(10x extra clients polling at 0.25s think time)"
+        ),
+    )
+    parser.add_argument(
+        "--no-admission", action="store_true",
+        help="disable admission control for the 'serve-bench' target",
     )
     parser.add_argument(
         "--app", choices=("periscope", "meerkat"), default="periscope",
@@ -145,6 +167,13 @@ def _kwargs_for(experiment_id: str, args: argparse.Namespace) -> dict:
         kwargs["seed"] = args.seed
     elif experiment_id == "faultsweep" and args.seed is not None:
         kwargs["seed"] = args.seed
+    elif experiment_id == "serving":
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        if args.clients is not None:
+            kwargs["n_clients"] = args.clients
+        if args.duration is not None:
+            kwargs["duration_s"] = args.duration
     return kwargs
 
 
@@ -301,6 +330,31 @@ def _render_chaos(seed: int, intensity: float) -> str:
     return "\n".join(lines)
 
 
+def _render_serve_bench(args: argparse.Namespace) -> str:
+    """Run the closed-loop serving benchmark and format its report."""
+    from repro.service.loadgen import FlashCrowdConfig, LoadGenConfig, run_serve_bench
+
+    n_clients = args.clients if args.clients is not None else 16
+    duration_s = args.duration if args.duration is not None else 60.0
+    flash = None
+    if args.flash_crowd:
+        flash = FlashCrowdConfig(
+            start_s=duration_s / 3.0,
+            duration_s=duration_s / 3.0,
+            extra_clients=15 * n_clients,
+            think_time_s=0.15,
+        )
+    config = LoadGenConfig(
+        n_clients=n_clients, duration_s=duration_s, flash_crowd=flash
+    )
+    report = run_serve_bench(
+        seed=args.seed if args.seed is not None else 2016,
+        config=config,
+        admission=not args.no_admission,
+    )
+    return report.render()
+
+
 def _sanitizer_guard(args: argparse.Namespace, workers: int = 1):
     """The runtime determinism sanitizer when ``--sanitize``, else a no-op.
 
@@ -400,6 +454,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sink.close()
         return 0
 
+    if "serve-bench" in args.experiments:
+        if len(args.experiments) > 1 or args.all:
+            print(
+                "error: 'serve-bench' prints a serving-layer report and cannot "
+                "be combined with other experiments",
+                file=sys.stderr,
+            )
+            return 2
+        emit(_render_serve_bench(args))
+        if sink is not None:
+            sink.close()
+        return 0
+
     if "chaos" in args.experiments:
         if len(args.experiments) > 1 or args.all:
             print(
@@ -428,7 +495,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     unknown = [t for t in targets if t not in known]
     if unknown:
         print(f"error: unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"known: {', '.join(list_experiments())} (plus the special targets 'metrics', 'chaos' and 'trace')", file=sys.stderr)
+        print(f"known: {', '.join(list_experiments())} (plus the special targets 'metrics', 'chaos', 'trace' and 'serve-bench')", file=sys.stderr)
         return 2
 
     for index, experiment_id in enumerate(targets):

@@ -36,6 +36,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.fig17",
     "repro.experiments.fig18",
     "repro.experiments.faultsweep",
+    "repro.experiments.serving",
 )
 
 

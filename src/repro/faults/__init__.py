@@ -26,7 +26,7 @@ from repro.cdn.fastly import EdgeUnavailable
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultKind, FaultPlan, FaultWindow
 from repro.faults.resilience import CircuitBreaker, RetryPolicy
-from repro.platform.service import ServiceUnavailable
+from repro.service.errors import ServiceUnavailable
 
 __all__ = [
     "FaultKind",

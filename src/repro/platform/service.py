@@ -4,47 +4,41 @@ This is the API surface the paper's crawler spoke to: start/end broadcasts,
 join as viewer (with the RTMP-to-HLS spillover policy), comment (capped at
 the first 100 commenters), heart, and the global broadcast list that
 returns 50 randomly-selected active broadcasts per query (§3.1).
+
+As of the serving-layer split, :class:`LivestreamService` is a thin facade
+over the tiered :mod:`repro.service` stack — a sharded
+:class:`~repro.service.store.BroadcastStore` (storage tier) operated by
+:class:`~repro.service.services.BroadcastService` and
+:class:`~repro.service.services.ListService` (service tier), sharing one
+:class:`~repro.service.services.FaultGate` brownout surface.  The public
+API, metric names, error types, and the brownout rng draw order are
+unchanged: a seeded run against the facade is byte-identical to the
+pre-split monolith.  The canonical error/page types now live in
+:mod:`repro.service.errors` and are re-exported here.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.platform.apps import AppProfile, PERISCOPE_PROFILE
-from repro.platform.broadcasts import (
-    Broadcast,
-    Comment,
-    DeliveryTier,
-    Heart,
-    ViewRecord,
-)
+from repro.platform.broadcasts import Broadcast, ViewRecord
 from repro.platform.users import UserRegistry
+from repro.service.errors import GlobalListPage, ServiceError, ServiceUnavailable
 
+if TYPE_CHECKING:
+    from repro.service.store import RegionCache
 
-class ServiceError(Exception):
-    """Raised on invalid API usage (joining a dead broadcast, etc.)."""
-
-
-class ServiceUnavailable(ServiceError):
-    """Transient 503-style failure: the service is browned out.
-
-    Raised (probabilistically, at the injected failure rate) while a
-    :class:`~repro.faults.injector.FaultInjector` marks the service browned
-    out.  Callers are expected to retry — this is the error class
-    :class:`~repro.faults.resilience.RetryPolicy` treats as retryable.
-    """
-
-
-@dataclass(frozen=True)
-class GlobalListPage:
-    """One response from the global broadcast list API."""
-
-    time: float
-    broadcast_ids: tuple[int, ...]
+__all__ = [
+    "GlobalListPage",
+    "LivestreamService",
+    "ServiceError",
+    "ServiceUnavailable",
+]
 
 
 @dataclass
@@ -52,8 +46,9 @@ class LivestreamService:
     """In-memory implementation of the application backend.
 
     The service is deliberately small: the heavy lifting (video transport)
-    lives in :mod:`repro.cdn`; this class owns users, broadcast metadata and
-    the policy decisions (spillover threshold, comment cap, list sampling).
+    lives in :mod:`repro.cdn`; this facade wires up the :mod:`repro.service`
+    tiers, which own the policy decisions (spillover threshold, comment
+    cap, list sampling) over the sharded broadcast store.
     """
 
     profile: AppProfile = field(default_factory=lambda: PERISCOPE_PROFILE)
@@ -64,31 +59,38 @@ class LivestreamService:
     #: would otherwise fail with the last good (stale) snapshot instead of
     #: raising :class:`ServiceUnavailable` — graceful degradation.
     load_shedding: bool = False
-    _broadcasts: dict[int, Broadcast] = field(default_factory=dict)
-    _live_ids: list[int] = field(default_factory=list)
-    _live_positions: dict[int, int] = field(default_factory=dict)
-    _next_broadcast_id: int = 1
-    _fault_fail_rate: float = field(default=0.0, init=False, repr=False)
-    _fault_rng: Optional[np.random.Generator] = field(default=None, init=False, repr=False)
-    _stale_list: Optional[GlobalListPage] = field(default=None, init=False, repr=False)
+    #: Storage-tier shard count (``broadcast_id % n_shards``).
+    n_shards: int = 8
+    #: Optional region cache shared with a frontend tier; the facade alone
+    #: never populates it (``global_list`` passes no region).
+    region_cache: Optional[RegionCache] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
-        obs = self.metrics
-        self._m_api = obs.counter("platform.api_calls", help="all service API calls")
-        self._m_starts = obs.counter("platform.broadcasts_started")
-        self._m_ends = obs.counter("platform.broadcasts_ended")
-        self._m_joins = obs.counter("platform.joins")
-        self._m_comments = obs.counter("platform.comments_accepted")
-        self._m_comments_rejected = obs.counter("platform.comments_rejected", help="comments over the commenter cap")
-        self._m_hearts = obs.counter("platform.hearts")
-        self._m_lists = obs.counter("platform.global_list_queries")
-        self._m_live = obs.gauge("platform.live_broadcasts", help="broadcasts currently live")
-        self._m_unavailable = obs.counter(
-            "platform.unavailable_errors", help="API calls failed by an injected brownout"
+        # Deferred import: only the leaf error module is imported at module
+        # scope, so ``repro.platform`` and ``repro.service`` can initialize
+        # in either order (each package's __init__ imports the other's
+        # submodules).
+        from repro.service.services import BroadcastService, FaultGate, ListService
+        from repro.service.store import BroadcastStore
+
+        self.store = BroadcastStore(n_shards=self.n_shards, metrics=self.metrics)
+        self.gate = FaultGate(metrics=self.metrics)
+        self.broadcasts = BroadcastService(
+            self.store,
+            self.users,
+            self.profile,
+            self.gate,
+            load_shedding=self.load_shedding,
+            region_cache=self.region_cache,
+            metrics=self.metrics,
         )
-        self._m_shed = obs.counter(
-            "platform.load_shed",
-            help="browned-out calls absorbed in degraded mode (stale or dropped)",
+        self.lists = ListService(
+            self.store,
+            self.gate,
+            global_list_size=self.global_list_size,
+            load_shedding=self.load_shedding,
+            region_cache=self.region_cache,
+            metrics=self.metrics,
         )
 
     # -- fault surface (driven by repro.faults.FaultInjector) --------------
@@ -96,33 +98,17 @@ class LivestreamService:
     @property
     def browned_out(self) -> bool:
         """True while a fault injector marks the service browned out."""
-        return self._fault_fail_rate > 0.0
+        return self.gate.browned_out
 
     def set_brownout(self, fail_rate: float, rng: np.random.Generator) -> None:
         """Mark the service browned out: each API call fails with probability
         ``fail_rate`` (drawn from ``rng`` in event order, so runs stay
         deterministic for a fixed seed)."""
-        if not 0.0 <= fail_rate <= 1.0:
-            raise ServiceError(f"fail_rate must be within [0, 1], got {fail_rate}")
-        self._fault_fail_rate = fail_rate
-        self._fault_rng = rng
+        self.gate.set_brownout(fail_rate, rng)
 
     def clear_brownout(self) -> None:
         """End the brownout; subsequent API calls succeed normally."""
-        self._fault_fail_rate = 0.0
-
-    def _failing_now(self) -> bool:
-        """One brownout coin flip (no rng is consumed when healthy)."""
-        if self._fault_fail_rate <= 0.0:
-            return False
-        return bool(self._fault_rng.random() < self._fault_fail_rate)
-
-    def _shed(self) -> bool:
-        """Absorb one would-be brownout failure in degraded mode."""
-        if not self.load_shedding:
-            return False
-        self._m_shed.inc()
-        return True
+        self.gate.clear_brownout()
 
     # -- broadcast lifecycle -------------------------------------------
 
@@ -133,131 +119,52 @@ class LivestreamService:
         is_private: bool = False,
         location: Optional[object] = None,
     ) -> Broadcast:
-        self._m_api.inc()
-        if broadcaster_id not in self.users:
-            raise ServiceError(f"unknown broadcaster {broadcaster_id}")
-        broadcast = Broadcast(
-            broadcast_id=self._next_broadcast_id,
-            broadcaster_id=broadcaster_id,
-            start_time=time,
-            app_name=self.profile.name,
-            is_private=is_private,
-            location=location,
+        """Start a broadcast for a registered user."""
+        return self.broadcasts.start_broadcast(
+            broadcaster_id, time, is_private=is_private, location=location
         )
-        self._next_broadcast_id += 1
-        self._broadcasts[broadcast.broadcast_id] = broadcast
-        self._live_positions[broadcast.broadcast_id] = len(self._live_ids)
-        self._live_ids.append(broadcast.broadcast_id)
-        self._m_starts.inc()
-        self._m_live.set(float(len(self._live_ids)))
-        return broadcast
 
     def end_broadcast(self, broadcast_id: int, time: float) -> Broadcast:
-        self._m_api.inc()
-        broadcast = self.get_broadcast(broadcast_id)
-        broadcast.end(time)
-        # O(1) removal: swap with the last live id.
-        position = self._live_positions.pop(broadcast_id)
-        last_id = self._live_ids[-1]
-        self._live_ids[position] = last_id
-        self._live_ids.pop()
-        if last_id != broadcast_id:
-            self._live_positions[last_id] = position
-        self._m_ends.inc()
-        self._m_live.set(float(len(self._live_ids)))
-        return broadcast
+        """End a live broadcast; ending twice raises :class:`ServiceError`."""
+        return self.broadcasts.end_broadcast(broadcast_id, time)
 
     def get_broadcast(self, broadcast_id: int) -> Broadcast:
-        if broadcast_id not in self._broadcasts:
-            raise ServiceError(f"unknown broadcast {broadcast_id}")
-        return self._broadcasts[broadcast_id]
+        """The broadcast record; :class:`ServiceError` on an unknown id."""
+        return self.broadcasts.get_broadcast(broadcast_id)
 
     @property
     def live_broadcast_count(self) -> int:
-        return len(self._live_ids)
+        """Broadcasts currently live (across all storage shards)."""
+        return self.store.live_count
 
     @property
     def total_broadcast_count(self) -> int:
-        return len(self._broadcasts)
+        """Every broadcast ever started, live or ended."""
+        return self.store.total_count
 
     def all_broadcasts(self) -> list[Broadcast]:
-        return list(self._broadcasts.values())
+        """All broadcast records, in start order."""
+        return self.store.all_broadcasts()
 
     # -- viewer actions --------------------------------------------------
 
-    def join(self, broadcast_id: int, viewer_id: int, time: float, web: bool = False) -> ViewRecord:
-        """Join a broadcast; tier assignment implements the spillover policy.
-
-        The first ``rtmp_viewer_threshold`` mobile viewers connect to the
-        ingest server over RTMP; later arrivals (and all web viewers) get
-        HLS from the edge CDN.
-        """
-        self._m_api.inc()
-        if self._failing_now() and not self._shed():
-            self._m_unavailable.inc()
-            raise ServiceUnavailable("join failed: service browned out")
-        broadcast = self.get_broadcast(broadcast_id)
-        if not broadcast.is_live:
-            raise ServiceError(f"broadcast {broadcast_id} has ended")
-        if time < broadcast.start_time:
-            raise ServiceError("cannot join before the broadcast starts")
-        if web:
-            tier = DeliveryTier.WEB
-        elif (
-            self.profile.has_push_tier
-            and broadcast.rtmp_view_count < self.profile.rtmp_viewer_threshold
-        ):
-            tier = DeliveryTier.RTMP
-        else:
-            tier = DeliveryTier.HLS
-        record = ViewRecord(viewer_id=viewer_id, join_time=time, tier=tier)
-        broadcast.views.append(record)
-        self._m_joins.inc()
-        return record
+    def join(
+        self, broadcast_id: int, viewer_id: int, time: float, web: bool = False
+    ) -> ViewRecord:
+        """Join a broadcast; tier assignment implements the spillover policy."""
+        return self.broadcasts.join(broadcast_id, viewer_id, time, web=web)
 
     def can_comment(self, broadcast_id: int, viewer_id: int) -> bool:
-        """True if the viewer is within the commenter cap.
-
-        Existing commenters keep the right; new commenters are admitted
-        while fewer than ``comment_cap`` distinct users have commented.
-        """
-        broadcast = self.get_broadcast(broadcast_id)
-        if viewer_id in broadcast.commenter_ids:
-            return True
-        return len(broadcast.commenter_ids) < self.profile.comment_cap
+        """True if the viewer is within the commenter cap."""
+        return self.broadcasts.can_comment(broadcast_id, viewer_id)
 
     def comment(self, broadcast_id: int, viewer_id: int, time: float) -> bool:
         """Post a comment; returns False when rejected by the cap."""
-        self._m_api.inc()
-        if self._failing_now():
-            if self._shed():
-                return False  # degraded mode: the comment is dropped, not errored
-            self._m_unavailable.inc()
-            raise ServiceUnavailable("comment failed: service browned out")
-        broadcast = self.get_broadcast(broadcast_id)
-        if not broadcast.is_live:
-            raise ServiceError(f"broadcast {broadcast_id} has ended")
-        if not self.can_comment(broadcast_id, viewer_id):
-            self._m_comments_rejected.inc()
-            return False
-        broadcast.commenter_ids.add(viewer_id)
-        broadcast.comments.append(Comment(viewer_id=viewer_id, time=time))
-        self._m_comments.inc()
-        return True
+        return self.broadcasts.comment(broadcast_id, viewer_id, time)
 
     def heart(self, broadcast_id: int, viewer_id: int, time: float) -> None:
         """Send a heart — all viewers may heart, without limit."""
-        self._m_api.inc()
-        if self._failing_now():
-            if self._shed():
-                return  # degraded mode: the heart is dropped, not errored
-            self._m_unavailable.inc()
-            raise ServiceUnavailable("heart failed: service browned out")
-        broadcast = self.get_broadcast(broadcast_id)
-        if not broadcast.is_live:
-            raise ServiceError(f"broadcast {broadcast_id} has ended")
-        broadcast.hearts.append(Heart(viewer_id=viewer_id, time=time))
-        self._m_hearts.inc()
+        self.broadcasts.heart(broadcast_id, viewer_id, time)
 
     # -- discovery --------------------------------------------------------
 
@@ -272,52 +179,13 @@ class LivestreamService:
         ``allow_stale=False`` opts out of brown-out load shedding: callers
         that can retry (the resilient crawler) prefer a retryable
         :class:`ServiceUnavailable` over silently stale data, while plain
-        clients get the last good snapshot.
+        clients get the last good snapshot (re-stamped at the query time,
+        with the snapshot's own age in ``snapshot_time``).
         """
-        self._m_api.inc()
-        self._m_lists.inc()
-        if self._failing_now():
-            if allow_stale and self.load_shedding and self._stale_list is not None:
-                # Brown-out load shedding: answer from the last good
-                # snapshot instead of erroring (stale but available).
-                self._m_shed.inc()
-                return GlobalListPage(
-                    time=time, broadcast_ids=self._stale_list.broadcast_ids
-                )
-            self._m_unavailable.inc()
-            raise ServiceUnavailable("global list failed: service browned out")
-        live = [
-            broadcast_id
-            for broadcast_id in self._live_ids
-            if not self._broadcasts[broadcast_id].is_private
-        ]
-        if len(live) <= self.global_list_size:
-            chosen = tuple(live)
-        else:
-            indices = rng.choice(len(live), size=self.global_list_size, replace=False)
-            chosen = tuple(live[i] for i in indices)
-        page = GlobalListPage(time=time, broadcast_ids=chosen)
-        self._stale_list = page  # refreshed on every success: shedding source
-        return page
+        return self.lists.query(time, rng, allow_stale=allow_stale)
 
     # -- viewer lifecycle ---------------------------------------------------
 
     def leave(self, broadcast_id: int, viewer_id: int, time: float) -> bool:
-        """Mark the viewer's most recent open view as ended.
-
-        Returns False when the viewer has no open view on this broadcast.
-        """
-        broadcast = self.get_broadcast(broadcast_id)
-        for index in range(len(broadcast.views) - 1, -1, -1):
-            view = broadcast.views[index]
-            if view.viewer_id == viewer_id and view.leave_time is None:
-                if time < view.join_time:
-                    raise ServiceError("cannot leave before joining")
-                broadcast.views[index] = ViewRecord(
-                    viewer_id=view.viewer_id,
-                    join_time=view.join_time,
-                    tier=view.tier,
-                    leave_time=time,
-                )
-                return True
-        return False
+        """Mark the viewer's most recent open view as ended."""
+        return self.broadcasts.leave(broadcast_id, viewer_id, time)

@@ -1,0 +1,72 @@
+"""The tiered serving layer: storage, services, frontend, load generation.
+
+This package is the request-driven serving stack the platform facade
+(:class:`repro.platform.service.LivestreamService`) now delegates to,
+split the way the paper's production system is described: a storage tier
+(:mod:`repro.service.store` — sharded broadcast store plus per-region
+list-snapshot caches), a service tier (:mod:`repro.service.services` —
+lifecycle/engagement policy and the global-list API over storage, sharing
+one brownout fault gate), an API tier (:mod:`repro.service.frontend` — a
+deterministic event-loop frontend with token-bucket admission control from
+:mod:`repro.service.admission`), and a closed-loop benchmark driver
+(:mod:`repro.service.loadgen`, surfaced as ``repro serve-bench``).
+
+The canonical API error types (:class:`ServiceError`,
+:class:`ServiceUnavailable`) and :class:`GlobalListPage` live here, in
+:mod:`repro.service.errors`; the facade re-exports them for backward
+compatibility.
+"""
+
+from repro.service.admission import (
+    API_CLASSES,
+    AdmissionController,
+    AdmissionPolicy,
+    ApiClassLimit,
+    SHED_QUEUE_FULL,
+    SHED_RATE_LIMITED,
+)
+from repro.service.errors import GlobalListPage, ServiceError, ServiceUnavailable
+from repro.service.frontend import (
+    ACTION_CLASSES,
+    Request,
+    Response,
+    ServiceFrontend,
+)
+from repro.service.loadgen import (
+    FlashCrowdConfig,
+    LoadGenConfig,
+    ServeBenchReport,
+    run_serve_bench,
+)
+from repro.service.services import BroadcastService, FaultGate, ListService
+from repro.service.store import (
+    BroadcastStore,
+    RegionCache,
+    StoreError,
+)
+
+__all__ = [
+    "ACTION_CLASSES",
+    "API_CLASSES",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "ApiClassLimit",
+    "BroadcastService",
+    "BroadcastStore",
+    "FaultGate",
+    "FlashCrowdConfig",
+    "GlobalListPage",
+    "ListService",
+    "LoadGenConfig",
+    "RegionCache",
+    "Request",
+    "Response",
+    "SHED_QUEUE_FULL",
+    "SHED_RATE_LIMITED",
+    "ServeBenchReport",
+    "ServiceError",
+    "ServiceFrontend",
+    "ServiceUnavailable",
+    "StoreError",
+    "run_serve_bench",
+]

@@ -1,0 +1,54 @@
+"""Canonical API error types and response pages for the serving layer.
+
+Historically these lived in :mod:`repro.platform.service`; they are defined
+here so the storage/service/frontend tiers can raise them without importing
+the facade (which imports the tiers — the other direction).  The facade
+module re-exports every name, so ``from repro.platform.service import
+ServiceError`` keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class ServiceError(Exception):
+    """Raised on invalid API usage (joining a dead broadcast, etc.)."""
+
+
+class ServiceUnavailable(ServiceError):
+    """Transient 503-style failure: the service is browned out.
+
+    Raised (probabilistically, at the injected failure rate) while a
+    :class:`~repro.faults.injector.FaultInjector` marks the service browned
+    out.  Callers are expected to retry — this is the error class
+    :class:`~repro.faults.resilience.RetryPolicy` treats as retryable.
+    """
+
+
+@dataclass(frozen=True)
+class GlobalListPage:
+    """One response from the global broadcast list API.
+
+    ``time`` is always the query time the caller supplied.  When the page
+    was answered from a stale snapshot (brown-out load shedding) or a
+    region cache, ``snapshot_time`` records when the underlying sample was
+    actually taken; for a freshly sampled page it is ``None``.
+    """
+
+    time: float
+    broadcast_ids: tuple[int, ...]
+    snapshot_time: Optional[float] = None
+
+    @property
+    def is_stale(self) -> bool:
+        """True when this page was served from an older snapshot."""
+        return self.snapshot_time is not None and self.snapshot_time < self.time
+
+    @property
+    def age_s(self) -> float:
+        """Seconds between the underlying sample and the query (0 if fresh)."""
+        if self.snapshot_time is None:
+            return 0.0
+        return max(0.0, self.time - self.snapshot_time)

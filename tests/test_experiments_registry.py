@@ -31,7 +31,7 @@ class TestRegistry:
             "table1", "table2",
             "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
             "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-            "fig18", "faultsweep",
+            "fig18", "faultsweep", "serving",
         }
         assert set(ids) == expected
 

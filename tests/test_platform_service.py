@@ -30,8 +30,30 @@ class TestLifecycle:
 
     def test_end_twice_rejected(self, service, live_broadcast):
         service.end_broadcast(live_broadcast.broadcast_id, time=60.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ServiceError):
             service.end_broadcast(live_broadcast.broadcast_id, time=61.0)
+
+    def test_end_twice_is_a_typed_error(self, service, live_broadcast):
+        """Regression: double-end used to escape as a raw ValueError from the
+        broadcast record (and a KeyError from the live-position pop on the
+        storage path) instead of the facade's typed :class:`ServiceError`."""
+        bid = live_broadcast.broadcast_id
+        service.end_broadcast(bid, time=60.0)
+        try:
+            service.end_broadcast(bid, time=61.0)
+        except ServiceError as error:
+            assert "already ended" in str(error)
+        else:
+            pytest.fail("double end_broadcast did not raise")
+        # The failed second end must not corrupt the record or the live sets.
+        assert live_broadcast.state is BroadcastState.ENDED
+        assert live_broadcast.duration == 60.0
+        assert service.live_broadcast_count == 0
+        service.store.check_invariants()
+
+    def test_end_unknown_broadcast_rejected(self, service):
+        with pytest.raises(ServiceError):
+            service.end_broadcast(12345, time=1.0)
 
     def test_broadcast_ids_sequential(self, service):
         first = service.start_broadcast(1, time=0.0)
@@ -281,3 +303,112 @@ class TestUserIdSchemes:
     def test_empty_observations(self):
         registry = UserRegistry()
         assert registry.estimate_total_users_from_observations([]) == 0
+
+
+class TestLoadShedSnapshotTime:
+    """The shed global-list contract: query-time stamp + snapshot data age."""
+
+    def _shedding_service(self):
+        service = LivestreamService(load_shedding=True)
+        service.users.register_many(10)
+        for i in range(3):
+            service.start_broadcast(1 + i, time=0.0)
+        return service
+
+    def test_fresh_page_has_no_snapshot_time(self, service):
+        service.start_broadcast(1, time=0.0)
+        page = service.global_list(5.0, np.random.default_rng(0))
+        assert page.snapshot_time is None
+        assert not page.is_stale
+        assert page.age_s == 0.0
+
+    def test_shed_page_restamped_with_query_time(self):
+        service = self._shedding_service()
+        rng = np.random.default_rng(0)
+        service.global_list(10.0, rng)  # seeds the stale snapshot
+        service.set_brownout(1.0, np.random.default_rng(1))
+        page = service.global_list(25.0, rng)
+        # Re-stamped with the *query* time, never the snapshot's...
+        assert page.time == 25.0
+        # ...while snapshot_time reports when the data was actually sampled.
+        assert page.snapshot_time == 10.0
+        assert page.is_stale
+        assert page.age_s == 15.0
+
+    def test_shed_page_serves_last_good_ids(self):
+        service = self._shedding_service()
+        rng = np.random.default_rng(0)
+        good = service.global_list(10.0, rng)
+        service.set_brownout(1.0, np.random.default_rng(1))
+        page = service.global_list(25.0, rng)
+        assert page.broadcast_ids == good.broadcast_ids
+
+
+class TestBrownoutGuardAudit:
+    """Every API either flips exactly one brownout coin or is exempt.
+
+    The draw order is load-bearing: seeded chaos baselines replay the same
+    coin sequence, so adding/removing a draw anywhere shifts every
+    subsequent outcome.  This test pins the per-API draw counts by
+    advancing a control generator in lockstep and comparing states.
+    """
+
+    GUARDED_DRAWS = 1  # join, comment, heart, global_list: one coin each
+    EXEMPT_DRAWS = 0  # start/end/leave/can_comment/get_broadcast: no coin
+
+    @staticmethod
+    def _state(rng):
+        return rng.bit_generator.state["state"]
+
+    def test_guarded_apis_draw_exactly_one_coin(self, service):
+        from repro.platform.service import ServiceUnavailable
+
+        broadcast = service.start_broadcast(1, time=0.0)
+        bid = broadcast.broadcast_id
+        fault_rng = np.random.default_rng(99)
+        control = np.random.default_rng(99)
+        service.set_brownout(0.5, fault_rng)
+        list_rng = np.random.default_rng(7)
+        calls = [
+            lambda: service.join(bid, 2, time=1.0),
+            lambda: service.comment(bid, 2, time=1.0),
+            lambda: service.heart(bid, 2, time=1.0),
+            lambda: service.global_list(1.0, list_rng),
+        ]
+        for call in calls:
+            try:
+                call()
+            except ServiceUnavailable:
+                pass
+            control.random()  # the one coin the API must have drawn
+            assert self._state(fault_rng) == self._state(control)
+
+    def test_exempt_apis_draw_no_coins(self, service):
+        broadcast = service.start_broadcast(1, time=0.0)
+        bid = broadcast.broadcast_id
+        service.join(bid, 2, time=1.0)
+        fault_rng = np.random.default_rng(99)
+        control = np.random.default_rng(99)
+        service.set_brownout(0.5, fault_rng)
+        # Lifecycle and bookkeeping are exempt by design: the chaos
+        # scenario starts/ends broadcasts during brownouts without guards.
+        service.can_comment(bid, 2)
+        service.get_broadcast(bid)
+        service.leave(bid, 2, time=2.0)
+        second = service.start_broadcast(3, time=2.0)
+        service.end_broadcast(second.broadcast_id, time=3.0)
+        assert self._state(fault_rng) == self._state(control)
+
+    def test_no_draws_while_healthy(self, service):
+        from repro.platform.service import ServiceUnavailable
+
+        broadcast = service.start_broadcast(1, time=0.0)
+        fault_rng = np.random.default_rng(99)
+        before = self._state(fault_rng)
+        service.set_brownout(0.5, fault_rng)
+        service.clear_brownout()
+        try:
+            service.join(broadcast.broadcast_id, 2, time=1.0)
+        except ServiceUnavailable:  # pragma: no cover - must not happen
+            pytest.fail("healthy service raised ServiceUnavailable")
+        assert self._state(fault_rng) == before

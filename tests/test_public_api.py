@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.obs",
     "repro.parallel",
     "repro.lint",
+    "repro.service",
     "repro.core",
     "repro.overlay",
     "repro.security",

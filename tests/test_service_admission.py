@@ -1,0 +1,111 @@
+"""Tests for admission control: per-API-class token buckets + queue depth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.admission import (
+    API_CLASSES,
+    AdmissionController,
+    AdmissionPolicy,
+    ApiClassLimit,
+    SHED_QUEUE_FULL,
+    SHED_RATE_LIMITED,
+)
+
+
+def _tight_policy(rate: float = 2.0, burst: float = 2.0, queue: int = 4):
+    return AdmissionPolicy(
+        limits={api: ApiClassLimit(rate_per_s=rate, burst=burst) for api in API_CLASSES},
+        max_queue_depth=queue,
+    )
+
+
+class TestAdmissionPolicy:
+    def test_defaults_cover_every_api_class(self):
+        policy = AdmissionPolicy()
+        assert set(policy.limits) == set(API_CLASSES)
+
+    def test_unknown_api_class_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(limits={"uploads": ApiClassLimit(1.0, 1.0)})
+
+    def test_bad_limits_rejected(self):
+        with pytest.raises(ValueError):
+            ApiClassLimit(rate_per_s=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            ApiClassLimit(rate_per_s=1.0, burst=0.0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_queue_depth=0)
+
+
+class TestAdmissionController:
+    def test_admits_within_budget(self):
+        controller = AdmissionController(_tight_policy())
+        assert controller.admit("list", now=0.0, queue_depth=0) is None
+
+    def test_rate_limit_sheds_beyond_burst(self):
+        controller = AdmissionController(_tight_policy(rate=2.0, burst=2.0))
+        assert controller.admit("list", 0.0, 0) is None
+        assert controller.admit("list", 0.0, 0) is None
+        assert controller.admit("list", 0.0, 0) == SHED_RATE_LIMITED
+
+    def test_tokens_refill_with_simulated_time(self):
+        controller = AdmissionController(_tight_policy(rate=2.0, burst=2.0))
+        for _ in range(2):
+            controller.admit("list", 0.0, 0)
+        assert controller.admit("list", 0.0, 0) == SHED_RATE_LIMITED
+        # 1 second at 2 tokens/s refills enough for two more requests.
+        assert controller.admit("list", 1.0, 0) is None
+        assert controller.admit("list", 1.0, 0) is None
+
+    def test_classes_have_independent_budgets(self):
+        controller = AdmissionController(_tight_policy(rate=1.0, burst=1.0))
+        assert controller.admit("list", 0.0, 0) is None
+        assert controller.admit("list", 0.0, 0) == SHED_RATE_LIMITED
+        # Exhausting "list" leaves "join" untouched.
+        assert controller.admit("join", 0.0, 0) is None
+
+    def test_queue_depth_checked_before_tokens(self):
+        controller = AdmissionController(_tight_policy(rate=1.0, burst=1.0, queue=2))
+        before = controller.tokens_available("list")
+        assert controller.admit("list", 0.0, queue_depth=2) == SHED_QUEUE_FULL
+        # A queue-full shed must not burn the class's rate budget.
+        assert controller.tokens_available("list") == before
+        assert controller.admit("list", 0.0, queue_depth=0) is None
+
+    def test_unknown_api_rejected(self):
+        controller = AdmissionController()
+        with pytest.raises(ValueError):
+            controller.admit("uploads", 0.0, 0)
+
+    def test_shed_metrics_per_class_and_reason(self):
+        metrics = MetricsRegistry()
+        controller = AdmissionController(
+            _tight_policy(rate=1.0, burst=1.0, queue=2), metrics=metrics
+        )
+        controller.admit("list", 0.0, 0)  # admitted
+        controller.admit("list", 0.0, 0)  # rate-limited
+        controller.admit("join", 0.0, 2)  # queue full
+        assert metrics.counter("service.admission.admitted").value == 1
+        assert metrics.counter("service.admission.shed").value == 2
+        assert (
+            metrics.counter(f"service.admission.shed.list.{SHED_RATE_LIMITED}").value
+            == 1
+        )
+        assert (
+            metrics.counter(f"service.admission.shed.join.{SHED_QUEUE_FULL}").value
+            == 1
+        )
+
+    def test_decisions_are_deterministic(self):
+        """Same arrival sequence, same verdicts — no randomness involved."""
+        arrivals = [(api, t * 0.1, t % 3) for t, api in enumerate(API_CLASSES * 10)]
+        verdicts = []
+        for _ in range(2):
+            controller = AdmissionController(_tight_policy(rate=3.0, burst=3.0))
+            verdicts.append(
+                [controller.admit(api, now, depth) for api, now, depth in arrivals]
+            )
+        assert verdicts[0] == verdicts[1]

@@ -4,7 +4,12 @@
 # `pytest -m tier2`), then smoke the observability overhead budget.
 # Usage:
 #   scripts/check.sh [extra pytest args...]   # tier-1 gate
-#   scripts/check.sh lint                     # determinism linter only
+#   scripts/check.sh lint                     # determinism linter only —
+#                                             # per-file rules + whole-program
+#                                             # passes (import graph, layering,
+#                                             # RNG dataflow, export drift);
+#                                             # extra args pass through, e.g.
+#                                             # `lint --json`, `lint --changed`
 #                                             # (rule catalog: LINTING.md)
 #   scripts/check.sh bench                    # smoke the trace-scale
 #                                             # benchmark and validate the

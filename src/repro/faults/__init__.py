@@ -35,6 +35,8 @@ __all__ = [
     "FaultInjector",
     "RetryPolicy",
     "CircuitBreaker",
-    "EdgeUnavailable",
-    "ServiceUnavailable",
+    # Both error types are injected *by* this subsystem, so FAULTS.md docs
+    # import them from here; their canonical homes stay cdn/service.
+    "EdgeUnavailable",  # repro: allow[export-drift] fault-surface convenience re-export; canonical home is repro.cdn
+    "ServiceUnavailable",  # repro: allow[export-drift] fault-surface convenience re-export; canonical home is repro.service
 ]

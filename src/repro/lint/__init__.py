@@ -27,6 +27,7 @@ See LINTING.md for the rule catalog and how to add a rule.
 """
 
 from repro.lint.findings import Finding, Suppression, parse_suppressions
+from repro.lint.graph import ProjectGraph, build_project_graph, render_dot
 from repro.lint.reporters import (
     LINT_SCHEMA_VERSION,
     render_json,
@@ -41,6 +42,7 @@ from repro.lint.runner import (
     lint_file,
     lint_paths,
     lint_source,
+    lint_sources,
 )
 from repro.lint.sanitizer import (
     DeterminismSanitizer,
@@ -57,15 +59,19 @@ __all__ = [
     "Finding",
     "LINT_SCHEMA_VERSION",
     "LintReport",
+    "ProjectGraph",
     "Rule",
     "SuppressedFinding",
     "Suppression",
+    "build_project_graph",
     "is_active",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "parse_suppressions",
     "register",
+    "render_dot",
     "render_json",
     "render_text",
     "report_to_payload",

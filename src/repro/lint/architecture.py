@@ -1,0 +1,258 @@
+"""The declared layering contract, and the rules that enforce it.
+
+The repo's subsystems form a tier stack; a module may import **module
+scope** only from its own tier or below.  Pointing *up* the stack is legal
+only through a deferred (function-scope) import — the pattern the
+platform↔service facade break uses — or a ``TYPE_CHECKING`` block.
+Deferred and typing-only imports are therefore exempt from the layering
+check; module-scope cycles are forbidden outright.
+
+The tiers (bottom to top)::
+
+    7  entrypoints     repro, repro.cli, repro.validation, repro.__main__
+    6  experiments     experiments          (+ repro.obs.scenario)
+    5  orchestration   faults, parallel, service
+    4  measurement     analysis, core, crawler, overlay, security, workload
+    3  platform        platform
+    2  delivery        cdn, client
+    1  kernel          simulation           (+ service.errors, faults.resilience)
+    0  foundation      geo, lint, obs, protocols, social
+
+Three modules carry per-module overrides because they are deliberate
+leaves of otherwise-high packages: :mod:`repro.service.errors` and
+:mod:`repro.faults.resilience` hold pure data/policy types consumed far
+below their packages' tiers, and :mod:`repro.obs.scenario` is an
+experiment driver that happens to live in the observability package.
+
+**The pinned facade break.**  ``repro.platform`` (tier 3) and
+``repro.service`` (tier 5) genuinely depend on each other at runtime: the
+service tier operates on platform record types, while the
+:class:`~repro.platform.service.LivestreamService` facade instantiates the
+service tiers.  The contract requires the facade's half of that bargain to
+stay *deferred*: ``repro.platform.service`` must import
+``repro.service.services`` and ``repro.service.store`` inside
+``__post_init__`` (never at module scope), which is what lets the two
+packages initialize in either order.  ``REQUIRED_DEFERRED`` pins both
+edges — deleting one, or lifting it to module scope, is a
+``deferred-import-required`` finding.
+
+Rules enforced here: ``import-cycle``, ``layering-violation``,
+``deferred-import-required``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.graph import ProjectGraph, module_name_for
+from repro.lint.rules import ProjectRule, register_project
+
+ROOT_PACKAGE = "repro"
+
+#: Layer names by tier level, for findings and the DOT export.
+TIER_NAMES = {
+    0: "foundation",
+    1: "kernel",
+    2: "delivery",
+    3: "platform",
+    4: "measurement",
+    5: "orchestration",
+    6: "experiments",
+    7: "entrypoints",
+}
+
+#: ``repro`` subpackage -> tier level.
+PACKAGE_TIERS = {
+    "geo": 0,
+    "lint": 0,
+    "obs": 0,
+    "protocols": 0,
+    "social": 0,
+    "simulation": 1,
+    "cdn": 2,
+    "client": 2,
+    "platform": 3,
+    "analysis": 4,
+    "core": 4,
+    "crawler": 4,
+    "overlay": 4,
+    "security": 4,
+    "workload": 4,
+    "faults": 5,
+    "parallel": 5,
+    "service": 5,
+    "experiments": 6,
+}
+
+#: Top-level ``repro`` modules (and the root package itself) sit above
+#: everything: they may import any tier at module scope.
+ENTRYPOINT_TIER = 7
+
+#: Modules whose tier differs from their package's (deliberate leaves).
+MODULE_TIER_OVERRIDES = {
+    "repro.service.errors": 1,
+    "repro.faults.resilience": 1,
+    "repro.obs.scenario": 6,
+}
+
+#: (importing module, imported module) edges that must exist as *deferred*
+#: imports — the facade break.  Each is checked whenever the importing
+#: module is in the analyzed set: a module-scope import of the target (or
+#: a submodule of it) and a missing deferred import are both findings.
+REQUIRED_DEFERRED = (
+    ("repro.platform.service", "repro.service.services"),
+    ("repro.platform.service", "repro.service.store"),
+)
+
+
+def tier_of(module: str) -> Optional[int]:
+    """The tier level of a dotted module name; ``None`` outside the contract."""
+    if module in MODULE_TIER_OVERRIDES:
+        return MODULE_TIER_OVERRIDES[module]
+    parts = module.split(".")
+    if parts[0] != ROOT_PACKAGE:
+        return None
+    if len(parts) == 1:
+        return ENTRYPOINT_TIER
+    return PACKAGE_TIERS.get(parts[1], ENTRYPOINT_TIER)
+
+
+def tier_label(module: str) -> str:
+    tier = tier_of(module)
+    if tier is None:
+        return "unranked"
+    return f"tier {tier} '{TIER_NAMES[tier]}'"
+
+
+def _required_deferred_pairs() -> frozenset[tuple[str, str]]:
+    return frozenset(REQUIRED_DEFERRED)
+
+
+@register_project
+class ImportCycleRule(ProjectRule):
+    """Module-scope import cycles deadlock initialization and make import
+    order observable — the exact hazard the facade break removes.  Every
+    member of a cycle is flagged, at its first import of another member."""
+
+    rule_id = "import-cycle"
+    description = "module-scope import cycle between analyzed modules"
+
+    def check(self, graph: ProjectGraph) -> Iterator[Finding]:
+        for component in graph.cycles():
+            members = set(component)
+            path = " -> ".join(component + (component[0],))
+            for name in component:
+                info = graph.modules[name]
+                anchor_line, anchor_col = 1, 1
+                for record in info.imports:
+                    if not record.module_scope:
+                        continue
+                    resolved = graph.resolve_target(record)
+                    if resolved is not None and resolved.name in members:
+                        anchor_line, anchor_col = record.line, record.col
+                        break
+                yield Finding(
+                    path=info.relpath,
+                    line=anchor_line,
+                    col=anchor_col,
+                    rule_id=self.rule_id,
+                    message=f"module-scope import cycle: {path}",
+                )
+
+
+@register_project
+class LayeringViolationRule(ProjectRule):
+    """A module may import at module scope only from its own tier or
+    below.  Upward dependencies must be deferred into the function that
+    needs them (or moved down the stack).  The target's tier comes from
+    its dotted name, so the rule bites even when the target file is
+    outside the linted path set."""
+
+    rule_id = "layering-violation"
+    description = (
+        "module-scope import points up the layering contract "
+        "(see repro.lint.architecture)"
+    )
+
+    def check(self, graph: ProjectGraph) -> Iterator[Finding]:
+        pinned = _required_deferred_pairs()
+        for name, info in sorted(graph.modules.items()):
+            source_tier = tier_of(name)
+            if source_tier is None:
+                continue
+            for record in info.imports:
+                if not record.module_scope or not record.target:
+                    continue
+                target_tier = tier_of(record.target)
+                if target_tier is None or target_tier <= source_tier:
+                    continue
+                if (name, record.target) in pinned:
+                    continue  # deferred-import-required owns the pinned edges
+                yield Finding(
+                    path=info.relpath,
+                    line=record.line,
+                    col=record.col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{name} ({tier_label(name)}) imports {record.target} "
+                        f"({tier_label(record.target)}) at module scope; "
+                        "defer the import or move the dependency down"
+                    ),
+                )
+
+
+@register_project
+class DeferredImportRequiredRule(ProjectRule):
+    """The pinned facade edges (``REQUIRED_DEFERRED``) must exist as
+    deferred imports and must never appear at module scope — that is the
+    entire platform↔service initialization-order contract."""
+
+    rule_id = "deferred-import-required"
+    description = (
+        "pinned facade edge must be a deferred import "
+        "(missing, or found at module scope)"
+    )
+
+    def check(self, graph: ProjectGraph) -> Iterator[Finding]:
+        for source, target in REQUIRED_DEFERRED:
+            info = graph.modules.get(source)
+            if info is None:
+                continue
+            matching = [
+                record
+                for record in info.imports
+                if record.target == target
+                or (record.target or "").startswith(target + ".")
+            ]
+            for record in matching:
+                if record.module_scope:
+                    yield Finding(
+                        path=info.relpath,
+                        line=record.line,
+                        col=record.col,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"{source} imports {target} at module scope; this "
+                            "edge is pinned deferred (the facade break) — move "
+                            "it back inside the function that needs it"
+                        ),
+                    )
+            if not any(record.deferred for record in matching):
+                yield Finding(
+                    path=info.relpath,
+                    line=1,
+                    col=1,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{source} no longer defer-imports {target}; the facade "
+                        "contract requires this deferred import (see "
+                        "repro.lint.architecture.REQUIRED_DEFERRED)"
+                    ),
+                )
+
+
+def tier_for_path(relpath: str) -> Optional[int]:
+    """Tier of the module a file path maps to (DOT export helper)."""
+    name, _ = module_name_for(relpath)
+    return tier_of(name)

@@ -5,18 +5,29 @@ Usage::
     python -m repro lint src benchmarks        # text report, exit 1 on findings
     python -m repro lint --json src            # versioned JSON document
     python -m repro lint --list-rules          # rule catalog
+    python -m repro lint --changed             # only files git reports changed
+    python -m repro lint --graph-dot out.dot   # package import graph (DOT)
 
 Exit codes: 0 clean, 1 findings, 2 usage error — mirroring the experiment
 CLI's conventions so ``scripts/check.sh`` can gate on it directly.
+
+``--changed`` narrows *reporting* to ``git diff --name-only HEAD`` files;
+the whole path set is still parsed so the whole-program passes (cycles,
+layering, exports) judge the changed files against the real tree.  Outside
+a git checkout (or if git fails) it falls back to the full tree.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 import time
+from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.lint.architecture import tier_of
+from repro.lint.graph import render_dot
 from repro.lint.reporters import render_json, render_text
 from repro.lint.rules import rule_catalog
 from repro.lint.runner import lint_paths
@@ -31,8 +42,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro lint",
         description=(
             "Determinism linter: enforces that a run is a pure function of "
-            "(config, seed) with sim-time as the only clock. See LINTING.md "
-            "for the rule catalog and suppression syntax."
+            "(config, seed) with sim-time as the only clock, plus the "
+            "whole-program architecture contract. See LINTING.md for the "
+            "rule catalog and suppression syntax."
         ),
     )
     parser.add_argument(
@@ -47,7 +59,39 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
     )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "report only files listed by `git diff --name-only HEAD` "
+            "(full tree outside a git checkout)"
+        ),
+    )
+    parser.add_argument(
+        "--graph-dot",
+        metavar="FILE",
+        help="also write the package-level import graph as DOT ('-' for stdout)",
+    )
     return parser
+
+
+def _git_changed_files() -> Optional[list[Path]]:
+    """Changed paths from git, or ``None`` when git is unusable here."""
+    try:
+        completed = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return [
+        Path(line.strip())
+        for line in completed.stdout.splitlines()
+        if line.strip().endswith(".py") and Path(line.strip()).is_file()
+    ]
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -60,19 +104,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     paths = args.paths or list(DEFAULT_PATHS)
+    only = None
+    if args.changed:
+        changed = _git_changed_files()
+        if changed is not None:
+            only = changed
     started = time.perf_counter()  # repro: allow[wall-clock] lint reports its own wall runtime
     try:
-        report = lint_paths(paths)
+        report = lint_paths(paths, only=only)
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - started  # repro: allow[wall-clock] lint reports its own wall runtime
 
+    if args.graph_dot and report.graph is not None:
+        dot = render_dot(report.graph, tier_of=tier_of)
+        if args.graph_dot == "-":
+            print(dot, end="")
+        else:
+            Path(args.graph_dot).write_text(dot, encoding="utf-8")
+            print(f"[wrote import graph to {args.graph_dot}]", file=sys.stderr)
+
     if args.json:
         print(render_json(report))
     else:
         print(render_text(report))
-        print(f"[linted {report.files_checked} file(s) in {elapsed:.2f}s]")
+        mode = " (changed files only)" if only is not None else ""
+        print(f"[linted {report.files_checked} file(s) in {elapsed:.2f}s{mode}]")
     return report.exit_code()
 
 

@@ -1,0 +1,148 @@
+"""Whole-program API-drift pass (rule ``export-drift``).
+
+The per-file ``missing-all`` rule checks that every ``__all__`` entry is
+bound *in that file*; this pass extends the check across the project:
+
+* every ``from <analyzed module> import name`` must name a symbol that
+  module actually binds at runtime (or one of its submodules) — this is
+  also what keeps each deferred CLI target in :mod:`repro.cli` pointing
+  at a real callable;
+* every package ``__all__`` entry resolves through re-export chains to a
+  defining module, and no *origin* symbol is exported from two packages —
+  the package containing the defining module is the canonical exporter,
+  everyone else is drift.  The root ``repro`` package is exempt (it is
+  the documented user-facing aggregate), and origins outside the
+  analyzed set (numpy, stdlib) are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.graph import ModuleInfo, ProjectGraph
+from repro.lint.rules import ProjectRule, register_project
+
+ROOT_PACKAGE = "repro"
+
+
+def _resolve_origin(
+    graph: ProjectGraph, info: ModuleInfo, name: str, seen: set[tuple[str, str]]
+) -> Optional[tuple[str, str]]:
+    """``(defining module, original name)`` a binding resolves to, chasing
+    re-export chains inside the analyzed set; ``None`` when the chain
+    leaves it (external import, star import, unresolved)."""
+    key = (info.name, name)
+    if key in seen:
+        return None
+    seen.add(key)
+    for record in info.imports:
+        if not record.is_from:
+            continue
+        for original, local in record.names:
+            if local != name:
+                continue
+            target = graph.modules.get(record.target)
+            if target is None:
+                submodule = graph.modules.get(f"{record.target}.{original}")
+                if submodule is not None:
+                    return (submodule.name, submodule.name)
+                return None  # chain leaves the analyzed set
+            as_submodule = graph.modules.get(f"{target.name}.{original}")
+            if original in target.bindings:
+                resolved = _resolve_origin(graph, target, original, seen)
+                if resolved is not None:
+                    return resolved
+                if as_submodule is not None:
+                    return (as_submodule.name, as_submodule.name)
+                return None
+            if as_submodule is not None:
+                return (as_submodule.name, as_submodule.name)
+            return None
+    if name in info.bindings:
+        return (info.name, name)
+    return None
+
+
+def _containing_package(graph: ProjectGraph, module: str) -> str:
+    """The top-level package name that canonically exports ``module``'s
+    symbols ("repro.service" for "repro.service.errors")."""
+    parts = module.split(".")
+    if parts[0] == ROOT_PACKAGE and len(parts) > 1:
+        return ".".join(parts[:2])
+    return parts[0]
+
+
+@register_project
+class ExportDriftRule(ProjectRule):
+    """Exports and cross-module imports must keep resolving as the tree
+    refactors underneath them."""
+
+    rule_id = "export-drift"
+    description = (
+        "cross-module import/export no longer resolves, "
+        "or one symbol is exported by two packages"
+    )
+
+    def check(self, graph: ProjectGraph) -> Iterator[Finding]:
+        yield from self._unresolved_imports(graph)
+        yield from self._duplicate_exports(graph)
+
+    def _unresolved_imports(self, graph: ProjectGraph) -> Iterator[Finding]:
+        for name in sorted(graph.modules):
+            info = graph.modules[name]
+            for record in info.imports:
+                if not record.is_from or record.star or not record.target:
+                    continue
+                target = graph.modules.get(record.target)
+                if target is None or target.has_star_import:
+                    continue
+                for original, _local in record.names:
+                    if original in target.bindings:
+                        continue
+                    if f"{target.name}.{original}" in graph.modules:
+                        continue
+                    yield Finding(
+                        path=info.relpath,
+                        line=record.line,
+                        col=record.col,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"'{original}' is not defined in {target.name}; "
+                            "the import target drifted"
+                        ),
+                    )
+
+    def _duplicate_exports(self, graph: ProjectGraph) -> Iterator[Finding]:
+        #: origin (module, symbol) -> [(exporting package ModuleInfo, line, col)]
+        exporters: dict[tuple[str, str], list[tuple[ModuleInfo, int, int]]] = {}
+        for name in sorted(graph.modules):
+            info = graph.modules[name]
+            if not info.is_package or info.name == ROOT_PACKAGE:
+                continue
+            for exported, line, col in info.all_names:
+                origin = _resolve_origin(graph, info, exported, set())
+                if origin is None:
+                    continue
+                exporters.setdefault(origin, []).append((info, line, col))
+
+        for origin in sorted(exporters):
+            holders = exporters[origin]
+            if len({info.name for info, _line, _col in holders}) < 2:
+                continue
+            origin_module, origin_name = origin
+            canonical = _containing_package(graph, origin_module)
+            for info, line, col in holders:
+                if info.name == canonical:
+                    continue
+                yield Finding(
+                    path=info.relpath,
+                    line=line,
+                    col=col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"'{origin_name}' (defined in {origin_module}) is also "
+                        f"exported by {canonical}; one canonical exporting "
+                        "package per symbol"
+                    ),
+                )

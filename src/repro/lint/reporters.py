@@ -13,7 +13,7 @@ import json
 from repro.lint.runner import LintReport
 from repro.lint.rules import rule_catalog
 
-LINT_SCHEMA_VERSION = 1
+LINT_SCHEMA_VERSION = 2
 
 REQUIRED_TOP_KEYS = {
     "tool",
@@ -24,6 +24,7 @@ REQUIRED_TOP_KEYS = {
     "findings",
     "suppressed",
     "summary",
+    "project",
 }
 REQUIRED_FINDING_KEYS = {"rule", "path", "line", "col", "message"}
 REQUIRED_SUMMARY_KEYS = {"findings", "suppressed", "files_checked", "by_rule", "clean"}
@@ -37,6 +38,11 @@ def report_to_payload(report: LintReport) -> dict:
         "paths": list(report.paths),
         "files_checked": report.files_checked,
         "rules": rule_catalog(),
+        "project": {
+            "modules": report.project.get("modules", 0),
+            "import_edges": report.project.get("import_edges", 0),
+            "cycles": report.project.get("cycles", 0),
+        },
         "findings": [finding.to_dict() for finding in report.findings],
         "suppressed": [entry.to_dict() for entry in report.suppressed],
         "summary": {
@@ -91,6 +97,10 @@ def validate_lint_payload(payload: dict) -> None:
         raise ValueError("files_checked must be a non-negative integer")
     if not payload["rules"]:
         raise ValueError("lint payload lists no rules")
+    project = payload["project"]
+    for key in ("modules", "import_edges", "cycles"):
+        if not isinstance(project.get(key), int) or project[key] < 0:
+            raise ValueError(f"project.{key} must be a non-negative integer")
     for rule in payload["rules"]:
         if not rule.get("id") or not rule.get("description"):
             raise ValueError(f"rule entry missing id/description: {rule}")

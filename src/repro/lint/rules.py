@@ -73,27 +73,57 @@ class Rule:
         raise NotImplementedError
 
 
+class ProjectRule:
+    """Base class for whole-program rules.
+
+    Instead of one file, :meth:`check` receives the
+    :class:`~repro.lint.graph.ProjectGraph` built from *every* file in the
+    run, and yields findings whose ``path`` names the offending file — the
+    runner routes them back through that file's suppression audit exactly
+    like per-file findings.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, graph) -> Iterator[Finding]:
+        """Yield findings for the whole project graph."""
+        raise NotImplementedError
+
+
 #: id -> rule instance, in registration order (reports sort by location, so
 #: registration order only affects --list-rules output).
 _AST_RULES: dict[str, Rule] = {}
+#: id -> whole-program rule instance.
+_PROJECT_RULES: dict[str, ProjectRule] = {}
 #: id -> description for runner-enforced meta rules.
 _META_RULES: dict[str, str] = {}
 
 
+def _claim_rule_id(rule_id: str) -> None:
+    if not rule_id:
+        raise ValueError("rule has no rule_id")
+    if rule_id in _AST_RULES or rule_id in _META_RULES or rule_id in _PROJECT_RULES:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+
+
 def register(rule_cls: Type[Rule]) -> Type[Rule]:
     """Class decorator: add an AST rule to the registry."""
-    if not rule_cls.rule_id:
-        raise ValueError(f"{rule_cls.__name__} has no rule_id")
-    if rule_cls.rule_id in _AST_RULES or rule_cls.rule_id in _META_RULES:
-        raise ValueError(f"duplicate rule id {rule_cls.rule_id!r}")
+    _claim_rule_id(rule_cls.rule_id)
     _AST_RULES[rule_cls.rule_id] = rule_cls()
+    return rule_cls
+
+
+def register_project(rule_cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator: add a whole-program rule to the registry."""
+    _claim_rule_id(rule_cls.rule_id)
+    _PROJECT_RULES[rule_cls.rule_id] = rule_cls()
     return rule_cls
 
 
 def declare_meta_rule(rule_id: str, description: str) -> str:
     """Register a runner-enforced rule id so the catalog stays unified."""
-    if rule_id in _AST_RULES or rule_id in _META_RULES:
-        raise ValueError(f"duplicate rule id {rule_id!r}")
+    _claim_rule_id(rule_id)
     _META_RULES[rule_id] = description
     return rule_id
 
@@ -103,13 +133,21 @@ def ast_rules() -> Iterable[Rule]:
     return _AST_RULES.values()
 
 
+def project_rules() -> Iterable[ProjectRule]:
+    """All registered whole-program rule instances."""
+    return _PROJECT_RULES.values()
+
+
 def known_rule_ids() -> frozenset[str]:
-    """Every valid rule id — AST and meta — for suppression validation."""
-    return frozenset(_AST_RULES) | frozenset(_META_RULES)
+    """Every valid rule id — AST, project, and meta — for suppression validation."""
+    return frozenset(_AST_RULES) | frozenset(_PROJECT_RULES) | frozenset(_META_RULES)
 
 
 def rule_catalog() -> list[dict]:
     """``[{"id", "description"}, ...]`` sorted by id (JSON report / --list-rules)."""
     entries = {rule.rule_id: rule.description for rule in _AST_RULES.values()}
+    entries.update(
+        {rule.rule_id: rule.description for rule in _PROJECT_RULES.values()}
+    )
     entries.update(_META_RULES)
     return [{"id": rule_id, "description": entries[rule_id]} for rule_id in sorted(entries)]

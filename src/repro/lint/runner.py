@@ -1,15 +1,29 @@
-"""Walk files, run every rule, apply and audit suppressions.
+"""Parse files, run per-file and whole-program rules, audit suppressions.
 
-The runner owns the three *meta* rules, which need whole-file suppression
-state:
+The run is a pipeline:
 
-* ``suppression-missing-reason`` — an ``allow[...]`` with no reason does not
-  suppress anything and is itself a finding;
-* ``unknown-suppression`` — the bracketed id names no registered rule;
-* ``unused-suppression`` — the suppression silenced nothing (stale after a
-  fix; delete it).
+1. **parse** — every file becomes a :class:`ParsedUnit` (AST + parsed
+   suppressions, or a ``parse-error`` finding);
+2. **per-file rules** — each reported unit runs through the AST rules;
+3. **project rules** — one :class:`~repro.lint.graph.ProjectGraph` is
+   built from *all* parsed units (reported or not) and handed to the
+   whole-program rules (architecture, dataflow, exports); their findings
+   are routed back to the files they name;
+4. **suppression audit** — per file, findings meet ``allow[...]``
+   comments; the runner owns the meta rules for that audit:
 
-plus ``parse-error`` for files the :mod:`ast` parser rejects.
+   * ``suppression-missing-reason`` — an ``allow[...]`` with no reason
+     does not suppress anything and is itself a finding;
+   * ``unknown-suppression`` — the bracketed id names no registered rule;
+   * ``unused-suppression`` — the suppression silenced nothing (stale
+     after a fix; delete it).
+
+Step 3 is why ``--changed`` can lint a handful of files *correctly*: the
+graph still covers the full tree, only the reporting is narrowed.  The
+flip side: linting a partial path set (``repro lint src/repro/platform``)
+computes project rules on a partial graph, so project-rule suppressions
+may be reported unused — the default full-tree invocation is the
+authoritative gate.
 """
 
 from __future__ import annotations
@@ -17,16 +31,21 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Optional, Sequence, Union
+from typing import Iterable, Mapping, Optional, Sequence, Union
 
-# Importing checks registers every AST rule with the registry.
+# Importing checks/architecture/dataflow/exports registers every rule.
 import repro.lint.checks  # noqa: F401  (import is the registration)
+import repro.lint.architecture  # noqa: F401
+import repro.lint.dataflow  # noqa: F401
+import repro.lint.exports  # noqa: F401
 from repro.lint.findings import Finding, Suppression, parse_suppressions
+from repro.lint.graph import ProjectGraph, build_project_graph
 from repro.lint.rules import (
     FileContext,
     ast_rules,
     declare_meta_rule,
     known_rule_ids,
+    project_rules,
 )
 
 PathLike = Union[str, Path]
@@ -69,6 +88,10 @@ class LintReport:
     files_checked: int = 0
     findings: list[Finding] = field(default_factory=list)
     suppressed: list[SuppressedFinding] = field(default_factory=list)
+    #: ``project`` section of the JSON report (graph pass statistics).
+    project: dict = field(default_factory=dict)
+    #: The import graph the project passes ran on (``--graph-dot``).
+    graph: Optional[ProjectGraph] = field(default=None, repr=False, compare=False)
 
     @property
     def clean(self) -> bool:
@@ -87,10 +110,47 @@ class LintReport:
         return dict(sorted(counts.items()))
 
     def merge(self, other: "LintReport") -> None:
-        """Fold another file's report into this aggregate."""
+        """Fold another report into this aggregate (no graph merge)."""
         self.files_checked += other.files_checked
         self.findings.extend(other.findings)
         self.suppressed.extend(other.suppressed)
+
+
+@dataclass
+class ParsedUnit:
+    """One file after parsing, before any rule runs."""
+
+    relpath: str
+    source: str
+    path: Optional[Path] = None
+    ctx: Optional[FileContext] = None
+    suppressions: list[Suppression] = field(default_factory=list)
+    parse_finding: Optional[Finding] = None
+
+
+def parse_unit(source: str, relpath: str, path: Optional[Path] = None) -> ParsedUnit:
+    """Parse one file into a :class:`ParsedUnit` (never raises on bad syntax)."""
+    unit = ParsedUnit(relpath=relpath, source=source, path=path)
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as error:
+        unit.parse_finding = Finding(
+            path=relpath,
+            line=error.lineno or 1,
+            col=(error.offset or 0) + 1,
+            rule_id=RULE_PARSE_ERROR,
+            message=f"syntax error: {error.msg}",
+        )
+        return unit
+    unit.ctx = FileContext(
+        path=path if path is not None else Path(relpath),
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+    )
+    unit.suppressions = parse_suppressions(source)
+    return unit
 
 
 def _match_suppression(
@@ -111,39 +171,11 @@ def _match_suppression(
     return None
 
 
-def lint_source(source: str, relpath: str, path: Optional[Path] = None) -> LintReport:
-    """Lint one file's source text; the unit underneath :func:`lint_file`."""
-    report = LintReport(paths=[relpath], files_checked=1)
-    try:
-        tree = ast.parse(source, filename=relpath)
-    except SyntaxError as error:
-        report.findings.append(
-            Finding(
-                path=relpath,
-                line=error.lineno or 1,
-                col=(error.offset or 0) + 1,
-                rule_id=RULE_PARSE_ERROR,
-                message=f"syntax error: {error.msg}",
-            )
-        )
-        return report
-
-    ctx = FileContext(
-        path=path if path is not None else Path(relpath),
-        relpath=relpath,
-        source=source,
-        tree=tree,
-        lines=source.splitlines(),
-    )
-    suppressions = parse_suppressions(source)
+def _audit_unit(unit: ParsedUnit, raw: list[Finding], report: LintReport) -> None:
+    """Apply and audit one file's suppressions against its raw findings."""
     known = known_rule_ids()
-
-    raw: list[Finding] = []
-    for rule in ast_rules():
-        raw.extend(rule.check(ctx))
-
-    for finding in raw:
-        suppression = _match_suppression(finding, suppressions)
+    for finding in sorted(raw):
+        suppression = _match_suppression(finding, unit.suppressions)
         if suppression is None:
             report.findings.append(finding)
         elif suppression.reason:
@@ -156,7 +188,7 @@ def lint_source(source: str, relpath: str, path: Optional[Path] = None) -> LintR
             report.findings.append(finding)
             report.findings.append(
                 Finding(
-                    path=relpath,
+                    path=unit.relpath,
                     line=suppression.line,
                     col=1,
                     rule_id=RULE_SUPPRESSION_MISSING_REASON,
@@ -165,11 +197,11 @@ def lint_source(source: str, relpath: str, path: Optional[Path] = None) -> LintR
                 )
             )
 
-    for suppression in suppressions:
+    for suppression in unit.suppressions:
         if suppression.rule_id not in known:
             report.findings.append(
                 Finding(
-                    path=relpath,
+                    path=unit.relpath,
                     line=suppression.line,
                     col=1,
                     rule_id=RULE_UNKNOWN_SUPPRESSION,
@@ -180,7 +212,7 @@ def lint_source(source: str, relpath: str, path: Optional[Path] = None) -> LintR
         elif not suppression.used:
             report.findings.append(
                 Finding(
-                    path=relpath,
+                    path=unit.relpath,
                     line=suppression.line,
                     col=1,
                     rule_id=RULE_UNUSED_SUPPRESSION,
@@ -189,8 +221,67 @@ def lint_source(source: str, relpath: str, path: Optional[Path] = None) -> LintR
                 )
             )
 
+
+def lint_units(
+    units: Sequence[ParsedUnit],
+    paths: Optional[Sequence[str]] = None,
+    report_relpaths: Optional[set] = None,
+) -> LintReport:
+    """The engine: run all rules over parsed units.
+
+    ``report_relpaths`` narrows which files *report* findings (``--changed``);
+    every parsed unit still contributes to the project graph.
+    """
+    reported = [
+        unit
+        for unit in units
+        if report_relpaths is None or unit.relpath in report_relpaths
+    ]
+    report = LintReport(
+        paths=list(paths) if paths is not None else [unit.relpath for unit in reported],
+        files_checked=len(reported),
+    )
+
+    graph = build_project_graph([unit.ctx for unit in units if unit.ctx is not None])
+    report.graph = graph
+    report.project = graph.summary()
+
+    raw_by_file: dict[str, list[Finding]] = {unit.relpath: [] for unit in units}
+    for unit in reported:
+        if unit.ctx is None:
+            continue
+        for rule in ast_rules():
+            raw_by_file[unit.relpath].extend(rule.check(unit.ctx))
+    for rule in project_rules():
+        for finding in rule.check(graph):
+            if finding.path in raw_by_file:
+                raw_by_file[finding.path].append(finding)
+
+    for unit in reported:
+        if unit.parse_finding is not None:
+            report.findings.append(unit.parse_finding)
+            continue
+        _audit_unit(unit, raw_by_file[unit.relpath], report)
+
     report.findings.sort()
     return report
+
+
+def lint_source(source: str, relpath: str, path: Optional[Path] = None) -> LintReport:
+    """Lint one file's source text; the unit underneath :func:`lint_file`."""
+    return lint_units([parse_unit(source, relpath, path=path)], paths=[relpath])
+
+
+def lint_sources(sources: Mapping[str, str]) -> LintReport:
+    """Lint an in-memory project: ``{relpath: source}``.
+
+    All files form one project graph, so whole-program rules see the full
+    picture — the hook the architecture-conformance tests use to lint
+    hypothetical trees (e.g. "what if storage imported the service tier?")
+    without touching disk.
+    """
+    units = [parse_unit(text, relpath) for relpath, text in sources.items()]
+    return lint_units(units, paths=sorted(sources))
 
 
 def lint_file(path: PathLike, root: Optional[Path] = None) -> LintReport:
@@ -224,10 +315,30 @@ def iter_python_files(paths: Iterable[PathLike]) -> list[Path]:
     return sorted(seen)
 
 
-def lint_paths(paths: Sequence[PathLike], root: Optional[Path] = None) -> LintReport:
-    """Lint files and directory trees; the engine behind ``repro lint``."""
-    report = LintReport(paths=[str(p) for p in paths])
+def lint_paths(
+    paths: Sequence[PathLike],
+    root: Optional[Path] = None,
+    only: Optional[Iterable[PathLike]] = None,
+) -> LintReport:
+    """Lint files and directory trees; the engine behind ``repro lint``.
+
+    ``only`` narrows *reporting* to the given files (``--changed`` mode):
+    everything under ``paths`` is still parsed into the project graph, but
+    findings and suppression audits run only for the named files.
+    """
+    units = []
     for path in iter_python_files(paths):
-        report.merge(lint_file(path, root=root))
-    report.findings.sort()
-    return report
+        units.append(
+            parse_unit(
+                path.read_text(encoding="utf-8"), _relpath(path, root), path=path
+            )
+        )
+    report_relpaths = None
+    if only is not None:
+        wanted = {Path(p).resolve() for p in only}
+        report_relpaths = {
+            unit.relpath
+            for unit in units
+            if unit.path is not None and unit.path.resolve() in wanted
+        }
+    return lint_units(units, paths=[str(p) for p in paths], report_relpaths=report_relpaths)

@@ -227,7 +227,9 @@ def validate_environment() -> None:
 
 def _init_worker(context: ShardContext) -> None:
     global _WORKER_CONTEXT
-    _WORKER_CONTEXT = context
+    # Written exactly once per worker process, by the pool initializer,
+    # before any shard runs — worker-local configuration, not shared state.
+    _WORKER_CONTEXT = context  # repro: allow[worker-global-mutation] set once by the pool initializer before any shard task runs
 
 
 def _init_worker_mapped(config: TraceConfig, audience_cap: int, context_path: str) -> None:

@@ -36,9 +36,11 @@ __all__ = [
     "Heart",
     "ViewRecord",
     "LivestreamService",
-    "GlobalListPage",
-    "ServiceError",
-    "ServiceUnavailable",
+    # The facade re-exports the canonical repro.service error/page types so
+    # pre-split callers keep importing them from repro.platform.
+    "GlobalListPage",  # repro: allow[export-drift] facade compatibility re-export; canonical home is repro.service
+    "ServiceError",  # repro: allow[export-drift] facade compatibility re-export; canonical home is repro.service
+    "ServiceUnavailable",  # repro: allow[export-drift] facade compatibility re-export; canonical home is repro.service
     "User",
     "UserRegistry",
     "EngagementModel",

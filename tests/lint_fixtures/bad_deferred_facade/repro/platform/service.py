@@ -1,0 +1,9 @@
+"""Fixture: the platform facade without its pinned deferred imports of the
+service tier — the platform↔service initialization-order contract broken."""
+
+
+class LivestreamService:
+    def __init__(self) -> None:
+        self.store = None
+        self.broadcasts = None
+        self.lists = None

@@ -1,0 +1,6 @@
+"""Fixture: the package re-exports a name its defining module silently
+dropped — the import chain behind ``__all__`` no longer resolves."""
+
+from .impl import Ghost
+
+__all__ = ["Ghost"]

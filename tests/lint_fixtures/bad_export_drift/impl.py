@@ -1,0 +1,5 @@
+"""The implementation module that no longer defines the exported class."""
+
+
+def helper() -> int:
+    return 1

@@ -1,0 +1,8 @@
+"""Fixture: half of a synthetic two-package module-scope import cycle."""
+
+from ..pkg_b import beta
+
+alpha = 1
+ALPHA_PLUS = alpha + (beta if False else 0)
+
+__all__ = ["alpha", "ALPHA_PLUS"]

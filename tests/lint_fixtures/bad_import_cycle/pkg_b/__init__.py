@@ -1,0 +1,8 @@
+"""Fixture: the other half of the two-package import cycle."""
+
+from ..pkg_a import alpha
+
+beta = 2
+BETA_PLUS = beta + (alpha if False else 0)
+
+__all__ = ["beta", "BETA_PLUS"]

@@ -1,0 +1,15 @@
+"""Fixture: RNG streams parked in module-global state — draw order now
+depends on import order and call history instead of (config, seed)."""
+
+import numpy as np
+
+GLOBAL_RNG = np.random.default_rng(2016)
+
+
+def draw() -> float:
+    return float(GLOBAL_RNG.random())
+
+
+def reseed(seed: int) -> None:
+    global GLOBAL_RNG
+    GLOBAL_RNG = np.random.default_rng(seed)

@@ -1,0 +1,17 @@
+"""Fixture: one RNG stream object shared across shard-scoped pool tasks —
+``workers=1`` and ``workers=N`` would draw in different orders."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def shard_work(spec: int, rng) -> float:
+    return float(rng.random()) + spec
+
+
+def fan_out(specs: list) -> list:
+    rng = np.random.default_rng(7)
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(shard_work, spec, rng) for spec in specs]
+        return [future.result() for future in futures]

@@ -1,0 +1,17 @@
+"""Fixture: a pool task mutating module-global state — every worker
+process forks its own copy, so results depend on task placement."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_COMPLETED: list = []
+
+
+def tally(spec: int) -> int:
+    _COMPLETED.append(spec)
+    return spec
+
+
+def run_all(specs: list) -> list:
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(tally, spec) for spec in specs]
+        return [future.result() for future in futures]

@@ -4,7 +4,9 @@ Fixture files under ``tests/lint_fixtures/`` each violate exactly one rule
 class; the suite asserts the linter flags every one of them (non-zero exit
 through the real CLI), stays clean on the repo's own ``src/`` and
 ``benchmarks/`` trees, audits suppressions, emits schema-valid JSON, and
-finishes the full tree inside the 5-second budget.
+finishes the full tree inside the 8-second budget.  The whole-program
+passes (import graph, layering, dataflow, exports) have their own suite in
+``tests/test_lint_graph.py``.
 """
 
 from __future__ import annotations
@@ -38,6 +40,14 @@ FIXTURE_EXPECTATIONS = {
     "bad_swallowed_exception.py": {"swallowed-exception"},
     "bad_missing_all/__init__.py": {"missing-all"},
     "bad_fsum.py": {"fsum-required"},
+    # Whole-program passes (one rule apiece; see tests/test_lint_graph.py).
+    "bad_import_cycle": {"import-cycle"},
+    "bad_layering": {"layering-violation"},
+    "bad_deferred_facade": {"deferred-import-required"},
+    "bad_rng_global.py": {"rng-escapes-to-global"},
+    "bad_shared_stream.py": {"shared-stream-across-shards"},
+    "bad_worker_mutation.py": {"worker-global-mutation"},
+    "bad_export_drift": {"export-drift"},
     "bad_suppressions.py": {
         "wall-clock",
         "suppression-missing-reason",
@@ -69,11 +79,12 @@ class TestFixtureFiles:
         assert len(report.suppressed) == 1
         assert "integer counts" in report.suppressed[0].reason
 
-    def test_at_least_six_distinct_rules_exercised(self):
-        """Acceptance: >= 6 fixture files, one rule class apiece."""
+    def test_at_least_thirteen_distinct_rules_exercised(self):
+        """Acceptance: one single-rule fixture per rule class, per-file
+        (6) and whole-program (7) alike."""
         single_rule = [f for f, e in FIXTURE_EXPECTATIONS.items() if len(e) == 1]
-        assert len(single_rule) >= 6
-        assert len({next(iter(FIXTURE_EXPECTATIONS[f])) for f in single_rule}) >= 6
+        assert len(single_rule) >= 13
+        assert len({next(iter(FIXTURE_EXPECTATIONS[f])) for f in single_rule}) >= 13
 
 
 class TestRepoBaseline:
@@ -92,11 +103,12 @@ class TestRepoBaseline:
         assert not missing, f"suppressions without reasons: {missing}"
 
     def test_full_tree_within_runtime_budget(self):
-        """CI budget: the full-tree lint must stay under 5 seconds."""
+        """CI budget: the full-tree lint — whole-program passes included —
+        must stay under 8 seconds (measured ~2.5s)."""
         started = time.perf_counter()
         lint_paths([REPO_ROOT / "src", REPO_ROOT / "benchmarks"])
         elapsed = time.perf_counter() - started
-        assert elapsed < 5.0, f"lint took {elapsed:.2f}s (budget 5s)"
+        assert elapsed < 8.0, f"lint took {elapsed:.2f}s (budget 8s)"
 
 
 class TestSuppressionMechanics:
@@ -193,8 +205,21 @@ class TestRuleEdges:
         assert lint_source("x = 1\n", "pkg/module.py").clean
 
     def test_numpy_default_rng_is_compliant(self):
-        source = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        """Seeded numpy generators are the sanctioned RNG — inside a
+        function; a module-global stream is its own rule's business."""
+        source = (
+            "import numpy as np\n"
+            "def draw():\n"
+            "    rng = np.random.default_rng(7)\n"
+            "    return rng.random()\n"
+        )
         assert lint_source(source, "sample.py").clean
+
+    def test_module_global_rng_is_flagged(self):
+        source = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert lint_source(source, "sample.py").by_rule() == {
+            "rng-escapes-to-global": 1
+        }
 
 
 class TestJsonSchema:
@@ -227,6 +252,8 @@ class TestJsonSchema:
             lambda p: p.__setitem__("tool", "not-repro-lint"),
             lambda p: p["summary"].__setitem__("findings", 99),
             lambda p: p["suppressed"][0].__setitem__("reason", ""),
+            lambda p: p.pop("project"),
+            lambda p: p["project"].__setitem__("modules", -1),
         ):
             broken = json.loads(json.dumps(payload))
             breakage(broken)
@@ -252,6 +279,13 @@ class TestCli:
             "missing-all",
             "fsum-required",
             "suppression-missing-reason",
+            "import-cycle",
+            "layering-violation",
+            "deferred-import-required",
+            "rng-escapes-to-global",
+            "shared-stream-across-shards",
+            "worker-global-mutation",
+            "export-drift",
         ):
             assert rule_id in out
 

@@ -62,11 +62,29 @@ def check(path, payload):
                 f"(workers used: {row['parallel_workers_used']}) "
                 f"on {payload['cpu_count']} cores"
             )
+    # The streamed merge's reason to exist: its child-process peak RSS
+    # must stay within the largest shard's footprint (x1.5 working
+    # headroom) plus a fixed slack for the interpreter + numpy baseline.
+    # Rows measured where resource.getrusage is unavailable log a skip.
+    for row in payload["results"]:
+        rss = row["peak_rss_mb"]
+        if rss is None:
+            print(f"{path}: RSS gate skipped at scale {row['scale']:g} "
+                  "(resource unavailable)")
+            continue
+        budget = row["largest_shard_mb"] * 1.5 + 256.0
+        if rss > budget:
+            raise SystemExit(
+                f"{path}: streamed merge peak RSS {rss} MB exceeds "
+                f"{budget:.1f} MB (largest shard {row['largest_shard_mb']} MB "
+                f"x1.5 + 256 MB slack) at scale {row['scale']:g}"
+            )
     row = payload["results"][0]
     print(f"{path} ok: scale {row['scale']:g}, "
           f"serial {row['serial_broadcasts_per_sec']}/s, "
           f"parallel {row['parallel_broadcasts_per_sec']}/s "
-          f"({payload['cpu_count']} core(s))")
+          f"({payload['cpu_count']} core(s)); streamed merge "
+          f"{row['merge_seconds']}s, peak RSS {row['peak_rss_mb']} MB")
 
 check("smoke run", json.load(open(sys.argv[1])))
 # Also hold the committed baseline to the same schema + speed gate.

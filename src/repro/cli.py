@@ -222,9 +222,13 @@ def _render_trace(args: argparse.Namespace) -> str:
         ("generate", "trace.generate_seconds"),
         ("merge", "trace.merge_seconds"),
     ]
+    streamed = gauges.get("trace.merge_streamed", {}).get("value", 0) > 0
     for label, gauge_name in phases:
         if gauge_name in gauges:
-            lines.append(f"phase {label:<9} {gauges[gauge_name]['value']:.2f}s")
+            suffix = " (streamed)" if streamed and gauge_name == "trace.merge_seconds" else ""
+            lines.append(f"phase {label:<9} {gauges[gauge_name]['value']:.2f}s{suffix}")
+    if "trace.peak_rss_mb" in gauges:
+        lines.append(f"peak RSS        {gauges['trace.peak_rss_mb']['value']:.0f} MB")
     if cache_hit:
         # A hit may have been served by any format's entry (cross-format
         # fall-through), so don't claim the requested format here.
@@ -232,9 +236,15 @@ def _render_trace(args: argparse.Namespace) -> str:
             f"dataset cache   hit ({args.cache_dir}, key {config.cache_key()})"
         )
     elif args.cache_dir:
+        # When the mmap format was requested, the streamed merge writes
+        # the entry directly; other formats go through a normal `put`.
+        if streamed and args.cache_format == "mmap":
+            stored = "mmap (streamed merge)"
+        else:
+            stored = args.cache_format
         lines.append(
             f"dataset cache   miss -> stored ({args.cache_dir}, "
-            f"key {config.cache_key()}, format {args.cache_format})"
+            f"key {config.cache_key()}, format {stored})"
         )
     if args.run_dir:
         counters = snapshot["counters"]

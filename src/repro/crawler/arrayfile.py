@@ -36,9 +36,12 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Mapping, Optional, Union
+from typing import Iterator, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -59,14 +62,44 @@ def _aligned(n: int) -> int:
     return (n + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
 
 
-def _padded_json_line(payload: dict) -> bytes:
+def _padded_json_line(payload: dict, size: Optional[int] = None) -> bytes:
     """Canonical JSON, space-padded to a page boundary, newline-terminated.
 
     Readers take the first line; JSON ignores the trailing spaces, and the
-    next section starts exactly at ``len(line)``.
+    next section starts exactly at ``len(line)``.  ``size`` pads to an
+    explicit reserved length instead (used by :class:`ArrayFileWriter`,
+    whose footer length must be declared before the checksums exist).
     """
     encoded = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("ascii")
-    return encoded + b" " * (_aligned(len(encoded) + 1) - len(encoded) - 1) + b"\n"
+    if size is None:
+        size = _aligned(len(encoded) + 1)
+    if len(encoded) + 1 > size:
+        raise ValueError(
+            f"JSON line ({len(encoded) + 1} bytes) exceeds its reserved {size} bytes"
+        )
+    return encoded + b" " * (size - len(encoded) - 1) + b"\n"
+
+
+@contextmanager
+def atomic_output(path: PathLike) -> Iterator[Path]:
+    """Stage a write as ``<path>.tmp<pid>``, publish it with ``os.replace``.
+
+    The one atomic-publish discipline every on-disk artifact in the repo
+    uses (dataset-cache entries, the follow-graph cache, checkpointed
+    shard files, streamed merges): the caller writes the yielded temp
+    path; on a clean exit it is renamed over ``path`` in one step, and on
+    any exit the temp is removed — a crashed writer can never leave a
+    plausible-looking final file, only a ``.tmp<pid>`` leftover that
+    :func:`repro.crawler.storage.sweep_stale_temps` reclaims once the
+    writer's pid is gone.
+    """
+    path = Path(path)
+    temp = path.with_name(path.name + f".tmp{os.getpid()}")
+    try:
+        yield temp
+        os.replace(temp, path)
+    finally:
+        temp.unlink(missing_ok=True)
 
 
 def _disk_dtype(array: np.ndarray) -> np.dtype:
@@ -74,6 +107,12 @@ def _disk_dtype(array: np.ndarray) -> np.dtype:
     if array.dtype.hasobject:
         raise ValueError(f"cannot store object arrays (dtype {array.dtype})")
     return array.dtype.newbyteorder("<") if array.dtype.byteorder == ">" else array.dtype
+
+
+def _convert(array: np.ndarray) -> np.ndarray:
+    """Contiguous little-endian view/copy of ``array`` (the disk bytes)."""
+    array = np.ascontiguousarray(array)
+    return array.astype(_disk_dtype(array), copy=False)
 
 
 def write_arrays(
@@ -87,34 +126,39 @@ def write_arrays(
     Insertion order of ``arrays`` is preserved; the write is
     byte-deterministic for fixed inputs.  ``footer=True`` (the default)
     appends the per-block CRC-32 checksum footer that
-    ``read_arrays(verify=True)`` validates against; ``footer=False``
-    reproduces the pre-footer format (and is how the legacy-file tests
-    manufacture old files).
+    ``read_arrays(verify=True)`` validates against — that path *is* the
+    incremental :class:`ArrayFileWriter` fed whole arrays, so monolithic
+    and streamed writes of the same data are byte-identical by
+    construction.  ``footer=False`` reproduces the pre-footer format (and
+    is how the legacy-file tests manufacture old files).
     """
+    if footer:
+        converted = {str(name): _convert(array) for name, array in arrays.items()}
+        writer = ArrayFileWriter(
+            path,
+            [(name, array.dtype, array.shape) for name, array in converted.items()],
+            meta=meta,
+        )
+        with writer:
+            for name, array in converted.items():
+                writer.append(name, array)
+        return
+
     entries = []
     blocks = []
-    checksums: dict[str, int] = {}
     offset = 0
     for name, array in arrays.items():
-        array = np.ascontiguousarray(array)
-        dtype = _disk_dtype(array)
-        array = array.astype(dtype, copy=False)
+        array = _convert(array)
         entries.append(
             {
                 "name": str(name),
-                "dtype": dtype.str,
+                "dtype": array.dtype.str,
                 "shape": list(array.shape),
                 "offset": offset,
             }
         )
         blocks.append(array)
-        # CRC over the block's raw bytes (buffer protocol: no copy).
-        checksums[str(name)] = zlib.crc32(array)
         offset += _aligned(array.nbytes)
-
-    footer_line = b""
-    if footer:
-        footer_line = _padded_json_line({"format": _FOOTER_MAGIC, "crc32": checksums})
 
     header = {
         "format": _MAGIC,
@@ -124,8 +168,6 @@ def write_arrays(
         "meta": meta or {},
         "arrays": entries,
     }
-    if footer:
-        header["footer_size"] = len(footer_line)
     header_line = _padded_json_line(header)
 
     with open(path, "wb") as handle:
@@ -133,7 +175,211 @@ def write_arrays(
         for entry, array in zip(entries, blocks):
             handle.write(array.tobytes())
             handle.write(b"\x00" * (_aligned(array.nbytes) - array.nbytes))
-        handle.write(footer_line)
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    """One declared array in an :class:`ArrayFileWriter` schema."""
+
+    name: str
+    dtype: np.dtype
+    shape: tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        return math.prod(self.shape) * self.dtype.itemsize
+
+
+class ArrayFileWriter:
+    """Incremental :func:`write_arrays`: declare the schema, append blocks.
+
+    The full schema — every array's name, dtype, and *final* shape — must
+    be known up front (the header comes first in the file), but each
+    array's data may then arrive in any number of leading-axis chunks
+    across calls, in declared order.  This is what lets the streaming
+    merge (:mod:`repro.parallel.merge`) build a paper-scale dataset file
+    while holding only one bounded window of it in memory: per-array
+    CRC-32 checksums accumulate incrementally (``zlib.crc32`` composes
+    over concatenation), so the finished file — header, page-aligned
+    blocks, checksum footer — is byte-identical to a monolithic
+    :func:`write_arrays` of the same data.
+
+    Output is staged as ``<path>.tmp<pid>`` and published atomically by
+    :meth:`finalize` (the :func:`atomic_output` discipline); a writer
+    abandoned mid-append — process crash included — never leaves a
+    partial final file, and the temp is reclaimed by the stale-temp
+    sweep once the writer's pid is gone.  As a context manager, a clean
+    exit finalizes and an exception aborts.
+
+    One caveat on byte identity: the footer's length is reserved before
+    the checksums exist (sized for maximum-width CRCs), so a schema whose
+    footer JSON straddles a page boundary within that reserve could pad
+    one page larger than the monolithic writer would.  ``write_arrays``
+    itself routes through this class, so the two paths cannot drift for
+    any schema.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        schema: Sequence[tuple[str, Union[str, np.dtype], Sequence[int]]],
+        meta: Optional[dict] = None,
+    ) -> None:
+        if not schema:
+            raise ValueError("array-file schema is empty")
+        self.path = Path(path)
+        self._specs: list[_ArraySpec] = []
+        entries = []
+        offset = 0
+        seen: set[str] = set()
+        for name, dtype, shape in schema:
+            name = str(name)
+            if name in seen:
+                raise ValueError(f"duplicate array {name!r} in schema")
+            seen.add(name)
+            dtype = np.dtype(dtype)
+            if dtype.hasobject:
+                raise ValueError(f"cannot store object arrays (dtype {dtype})")
+            if dtype.byteorder == ">":
+                dtype = dtype.newbyteorder("<")
+            spec = _ArraySpec(name, dtype, tuple(int(dim) for dim in shape))
+            self._specs.append(spec)
+            entries.append(
+                {
+                    "name": name,
+                    "dtype": dtype.str,
+                    "shape": list(spec.shape),
+                    "offset": offset,
+                }
+            )
+            offset += _aligned(spec.nbytes)
+
+        # The footer must fit checksums of any value, so its line length
+        # is reserved using maximum-width (10-digit) CRC placeholders.
+        self._footer_size = len(
+            _padded_json_line(
+                {"format": _FOOTER_MAGIC, "crc32": {s.name: 0xFFFFFFFF for s in self._specs}}
+            )
+        )
+        header = {
+            "format": _MAGIC,
+            "format_version": ARRAY_FILE_VERSION,
+            "page_size": PAGE_SIZE,
+            "data_size": offset,
+            "meta": meta or {},
+            "arrays": entries,
+            "footer_size": self._footer_size,
+        }
+        self._temp = self.path.with_name(self.path.name + f".tmp{os.getpid()}")
+        self._handle = open(self._temp, "wb")
+        self._handle.write(_padded_json_line(header))
+        self._index = 0  # position in the schema of the array being appended
+        self._written = 0  # data bytes of that array written so far
+        self._crc = 0
+        self._checksums: dict[str, int] = {}
+        self._finalized = False
+
+    # -- appending -----------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self._handle is None:
+            raise ValueError(f"{self.path}: writer is closed")
+
+    def _close_block(self) -> None:
+        """Seal the current array: check completeness, pad, record its CRC."""
+        spec = self._specs[self._index]
+        if self._written != spec.nbytes:
+            raise ValueError(
+                f"{self.path}: array {spec.name!r} incomplete "
+                f"({self._written} of {spec.nbytes} bytes appended)"
+            )
+        self._handle.write(b"\x00" * (_aligned(spec.nbytes) - spec.nbytes))
+        self._checksums[spec.name] = self._crc
+        self._index += 1
+        self._written = 0
+        self._crc = 0
+
+    def append(self, name: str, chunk: np.ndarray) -> None:
+        """Append a leading-axis chunk of array ``name``.
+
+        Arrays must be appended in schema order; moving to a later name
+        seals every array in between (legal only when they are complete —
+        zero-length arrays complete vacuously and may be skipped
+        entirely).  The chunk is converted to the declared dtype if
+        needed.
+        """
+        self._require_open()
+        names = [spec.name for spec in self._specs[self._index :]]
+        if str(name) not in names:
+            raise ValueError(
+                f"{self.path}: array {name!r} is not appendable "
+                f"(not in the schema, or already sealed)"
+            )
+        while self._specs[self._index].name != str(name):
+            self._close_block()
+        spec = self._specs[self._index]
+        chunk = np.ascontiguousarray(chunk)
+        if chunk.dtype != spec.dtype:
+            chunk = chunk.astype(spec.dtype)
+        if chunk.ndim != len(spec.shape) or chunk.shape[1:] != spec.shape[1:]:
+            raise ValueError(
+                f"{self.path}: chunk shape {chunk.shape} does not extend "
+                f"array {spec.name!r} of shape {spec.shape} along axis 0"
+            )
+        if self._written + chunk.nbytes > spec.nbytes:
+            raise ValueError(
+                f"{self.path}: array {spec.name!r} overflows its declared "
+                f"shape {spec.shape} ({self._written + chunk.nbytes} > {spec.nbytes} bytes)"
+            )
+        self._crc = zlib.crc32(chunk, self._crc)
+        self._handle.write(chunk)
+        self._written += chunk.nbytes
+
+    # -- lifecycle -----------------------------------------------------
+
+    def finalize(self) -> Path:
+        """Seal remaining arrays, write the checksum footer, publish.
+
+        Returns the final path.  Raises ``ValueError`` — leaving no file
+        behind — if any declared array is incomplete.
+        """
+        self._require_open()
+        try:
+            while self._index < len(self._specs):
+                self._close_block()
+            self._handle.write(
+                _padded_json_line(
+                    {"format": _FOOTER_MAGIC, "crc32": self._checksums},
+                    size=self._footer_size,
+                )
+            )
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+            os.replace(self._temp, self.path)
+            self._finalized = True
+        finally:
+            if not self._finalized:
+                self.abort()
+        return self.path
+
+    def abort(self) -> None:
+        """Discard the write: close the handle, remove the temp file."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        if not self._finalized:
+            self._temp.unlink(missing_ok=True)
+
+    def __enter__(self) -> "ArrayFileWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            if not self._finalized:
+                self.finalize()
+        else:
+            self.abort()
 
 
 def read_arrays(path: PathLike, verify: bool = False) -> tuple[dict[str, np.ndarray], dict]:
@@ -152,30 +398,9 @@ def read_arrays(path: PathLike, verify: bool = False) -> tuple[dict[str, np.ndar
     footer existed carry no checksums and verify vacuously.
     """
     path = Path(path)
-    with path.open("rb") as handle:
-        header_line = handle.readline()
-    if not header_line.endswith(b"\n"):
-        raise ValueError(f"{path}: truncated array-file header")
-    try:
-        header = json.loads(header_line)
-    except json.JSONDecodeError as error:
-        raise ValueError(f"{path}: malformed array-file header: {error}") from None
-    if not isinstance(header, dict) or header.get("format") != _MAGIC:
-        raise ValueError(f"{path}: not a {_MAGIC} file")
-    if header.get("format_version") != ARRAY_FILE_VERSION:
-        raise ValueError(
-            f"{path}: unsupported array-file version {header.get('format_version')!r}"
-        )
-
-    data_start = len(header_line)
+    header, data_start = _load_header(path)
     footer_size = int(header.get("footer_size", 0))
     data_end = data_start + int(header["data_size"])
-    expected = data_end + footer_size
-    actual = path.stat().st_size
-    if actual < expected:
-        raise ValueError(f"{path}: truncated array file ({actual} < {expected} bytes)")
-    if actual > expected:
-        raise ValueError(f"{path}: trailing bytes after arrays ({actual} > {expected})")
 
     arrays: dict[str, np.ndarray] = {}
     for entry in header["arrays"]:
@@ -197,6 +422,78 @@ def read_arrays(path: PathLike, verify: bool = False) -> tuple[dict[str, np.ndar
     if verify and footer_size:
         _verify_checksums(path, arrays, _read_footer(path, data_end, footer_size))
     return arrays, header.get("meta", {})
+
+
+def _load_header(path: Path) -> tuple[dict, int]:
+    """Parse and structurally validate a file's header line.
+
+    Returns ``(header, data_start)``; checks magic, version, and that the
+    file's size matches header + data + footer exactly (truncation and
+    trailing garbage are both errors).
+    """
+    with path.open("rb") as handle:
+        header_line = handle.readline()
+    if not header_line.endswith(b"\n"):
+        raise ValueError(f"{path}: truncated array-file header")
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: malformed array-file header: {error}") from None
+    if not isinstance(header, dict) or header.get("format") != _MAGIC:
+        raise ValueError(f"{path}: not a {_MAGIC} file")
+    if header.get("format_version") != ARRAY_FILE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported array-file version {header.get('format_version')!r}"
+        )
+    data_start = len(header_line)
+    expected = data_start + int(header["data_size"]) + int(header.get("footer_size", 0))
+    actual = path.stat().st_size
+    if actual < expected:
+        raise ValueError(f"{path}: truncated array file ({actual} < {expected} bytes)")
+    if actual > expected:
+        raise ValueError(f"{path}: trailing bytes after arrays ({actual} > {expected})")
+    return header, data_start
+
+
+@dataclass(frozen=True)
+class ArrayEntry:
+    """One array's location inside a file, from the header alone."""
+
+    name: str
+    dtype: np.dtype
+    shape: tuple[int, ...]
+    offset: int  # absolute byte offset of the block in the file
+
+    @property
+    def nbytes(self) -> int:
+        return math.prod(self.shape) * self.dtype.itemsize
+
+
+def read_array_index(path: PathLike) -> tuple[dict[str, ArrayEntry], dict]:
+    """Scan a file's header without mapping or reading any array data.
+
+    Returns ``({name: ArrayEntry}, meta)`` — shapes, dtypes, and absolute
+    offsets only, one page read per file.  This is how the streaming
+    merge plans a whole run's output (total lengths, per-day windows)
+    before touching a byte of shard data.  The same structural checks as
+    :func:`read_arrays` apply (magic, version, exact file size).
+    """
+    path = Path(path)
+    header, data_start = _load_header(path)
+    data_end = data_start + int(header["data_size"])
+    entries: dict[str, ArrayEntry] = {}
+    for entry in header["arrays"]:
+        dtype = np.dtype(entry["dtype"])
+        if dtype.hasobject:
+            raise ValueError(f"{path}: refusing object dtype {entry['dtype']!r}")
+        shape = tuple(int(dim) for dim in entry["shape"])
+        offset = data_start + int(entry["offset"])
+        if offset + math.prod(shape) * dtype.itemsize > data_end:
+            raise ValueError(f"{path}: array {entry['name']!r} overruns the file")
+        entries[entry["name"]] = ArrayEntry(
+            name=entry["name"], dtype=dtype, shape=shape, offset=offset
+        )
+    return entries, header.get("meta", {})
 
 
 def _read_footer(path: Path, data_end: int, footer_size: int) -> dict[str, int]:

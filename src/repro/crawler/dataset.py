@@ -277,11 +277,26 @@ class BroadcastColumns:
         )
 
     @classmethod
-    def concat(cls, parts: Sequence["BroadcastColumns"]) -> "BroadcastColumns":
-        """Concatenate batches (same app) into one columnar block."""
+    def concat(
+        cls, parts: Sequence["BroadcastColumns"], app_name: Optional[str] = None
+    ) -> "BroadcastColumns":
+        """Concatenate batches (same app) into one columnar block.
+
+        ``app_name`` names the app the batches must belong to and makes
+        an *empty* ``parts`` legal (it concatenates to
+        :meth:`empty`) — day-range shards of a quiet day produce zero
+        batches, and the merge must not care.  Without it, empty input
+        is an error as before.
+        """
         if not parts:
-            raise ValueError("no column batches to concatenate")
+            if app_name is None:
+                raise ValueError("no column batches to concatenate")
+            return cls.empty(app_name)
         first = parts[0]
+        if app_name is not None and first.app_name != app_name:
+            raise ValueError(
+                f"cannot concatenate {first.app_name!r} columns as {app_name!r}"
+            )
         if any(p.app_name != first.app_name for p in parts):
             raise ValueError("cannot concatenate columns from different apps")
         if len(parts) == 1:

@@ -28,7 +28,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.core.pipeline import BroadcastTrace
-from repro.crawler.arrayfile import read_arrays, write_arrays
+from repro.crawler.arrayfile import atomic_output, read_arrays, write_arrays
 from repro.crawler.dataset import BroadcastColumns, BroadcastDataset, BroadcastRecord
 
 PathLike = Union[str, Path]
@@ -37,9 +37,11 @@ _FORMAT_VERSION = 1
 
 _COLUMNS_FORMAT_VERSION = 2
 
-#: v2 column serialization order and on-disk dtypes.  Little-endian is
-#: forced so the bytes are platform-independent.
-_COLUMN_LAYOUT: tuple[tuple[str, str], ...] = (
+#: Column serialization order and on-disk dtypes shared by the v2 and
+#: ``mmap`` formats (and by the streaming merge, which writes the
+#: ``mmap`` layout shard by shard).  Little-endian is forced so the
+#: bytes are platform-independent.
+COLUMN_LAYOUT: tuple[tuple[str, str], ...] = (
     ("broadcast_id", "<i8"),
     ("broadcaster_id", "<i8"),
     ("start_time", "<f8"),
@@ -144,7 +146,7 @@ def dataset_to_columnar_bytes(dataset: BroadcastDataset) -> bytes:
     """Serialize a dataset to the deterministic v2 binary columnar format.
 
     Layout: one JSON header line, then each column of
-    :data:`_COLUMN_LAYOUT` as raw little-endian bytes, all gzipped with
+    :data:`COLUMN_LAYOUT` as raw little-endian bytes, all gzipped with
     mtime pinned to 0.  Record-backed datasets are columnarized first;
     either backend serializes to the identical bytes.
     """
@@ -161,7 +163,7 @@ def dataset_to_columnar_bytes(dataset: BroadcastDataset) -> bytes:
     raw = io.BytesIO()
     with gzip.GzipFile(filename="", mode="wb", fileobj=raw, mtime=0) as binary:
         binary.write((json.dumps(header) + "\n").encode("utf-8"))
-        for field, dtype in _COLUMN_LAYOUT:
+        for field, dtype in COLUMN_LAYOUT:
             binary.write(
                 np.ascontiguousarray(getattr(columns, field), dtype=dtype).tobytes()
             )
@@ -183,7 +185,7 @@ def dataset_from_columnar_bytes(data: bytes, source: str = "<bytes>") -> Broadca
 
     offset = newline + 1
     arrays: dict[str, np.ndarray] = {}
-    for field, dtype_str in _COLUMN_LAYOUT:
+    for field, dtype_str in COLUMN_LAYOUT:
         dtype = np.dtype(dtype_str)
         nbytes = _column_length(field, record_count, viewer_count) * dtype.itemsize
         if offset + nbytes > len(payload):
@@ -215,10 +217,30 @@ _CACHE_KEY_RE = re.compile(r"^[A-Za-z0-9._-]{1,100}$")
 _MAPPED_FORMAT = "broadcast-dataset"
 
 
+def mapped_dataset_meta(
+    app_name: str, days: int, record_count: int, viewer_count: int
+) -> dict:
+    """The ``mmap``-format header metadata for a dataset of these counts.
+
+    Shared between :func:`save_dataset_mapped` and the streaming merge
+    (:mod:`repro.parallel.merge`) so a streamed file carries exactly the
+    metadata a monolithic save would — a requirement for the two paths'
+    byte-identity.
+    """
+    return {
+        "format": _MAPPED_FORMAT,
+        "format_version": _COLUMNS_FORMAT_VERSION,
+        "app_name": app_name,
+        "days": days,
+        "record_count": record_count,
+        "viewer_count": viewer_count,
+    }
+
+
 def save_dataset_mapped(dataset: BroadcastDataset, path: PathLike) -> None:
     """Write a dataset as an uncompressed, memory-mappable column file.
 
-    Same logical schema as v2 (:data:`_COLUMN_LAYOUT`), but raw
+    Same logical schema as v2 (:data:`COLUMN_LAYOUT`), but raw
     page-aligned little-endian columns behind a JSON header line instead
     of a gzip stream — :func:`load_dataset_mapped` opens it zero-copy
     with ``np.memmap``, so a paper-scale dataset streams from the page
@@ -231,15 +253,10 @@ def save_dataset_mapped(dataset: BroadcastDataset, path: PathLike) -> None:
     write_arrays(
         path,
         {field: np.ascontiguousarray(getattr(columns, field), dtype=dtype)
-         for field, dtype in _COLUMN_LAYOUT},
-        meta={
-            "format": _MAPPED_FORMAT,
-            "format_version": _COLUMNS_FORMAT_VERSION,
-            "app_name": dataset.app_name,
-            "days": dataset.days,
-            "record_count": len(columns),
-            "viewer_count": len(columns.viewer_ids),
-        },
+         for field, dtype in COLUMN_LAYOUT},
+        meta=mapped_dataset_meta(
+            dataset.app_name, dataset.days, len(columns), len(columns.viewer_ids)
+        ),
     )
 
 
@@ -255,7 +272,7 @@ def load_dataset_mapped(path: PathLike) -> BroadcastDataset:
     version = meta.get("format_version")
     if version != _COLUMNS_FORMAT_VERSION:
         raise ValueError(f"{path}: unsupported format version {version}")
-    expected = {field for field, _ in _COLUMN_LAYOUT}
+    expected = {field for field, _ in COLUMN_LAYOUT}
     if set(arrays) != expected:
         raise ValueError(f"{path}: column set mismatch")
     columns = BroadcastColumns(app_name=meta["app_name"], **arrays)
@@ -404,12 +421,8 @@ class DatasetCache:
         """
         path = self.path_for(key)
         _, save, _ = _CACHE_FORMATS[self.fmt]
-        temp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
-        try:
+        with atomic_output(path) as temp:
             save(dataset, temp)
-            os.replace(temp, path)
-        finally:
-            temp.unlink(missing_ok=True)
         return path
 
     def __contains__(self, key: str) -> bool:

@@ -36,6 +36,9 @@ _WALL_CLOCK_TIME = frozenset({"time", "time_ns", "monotonic", "monotonic_ns"})
 _PERF_COUNTER = frozenset({"perf_counter", "perf_counter_ns"})
 _DATETIME_CLASSES = frozenset({"datetime", "date"})
 _DATETIME_METHODS = frozenset({"now", "utcnow", "today"})
+#: Host resource-state reads, gated like perf_counter: fine in the
+#: observability allowlist, a determinism hazard anywhere else.
+_RUSAGE = frozenset({"getrusage"})
 
 
 def _module_aliases(tree: ast.AST, module: str) -> set[str]:
@@ -119,18 +122,21 @@ class UnseededRandomRule(Rule):
 class WallClockRule(Rule):
     """Simulation and analysis code must read time only from the simulator
     clock — wall-clock reads make runs depend on the host instead of on
-    (config, seed).  ``time.perf_counter`` is tolerated in the timing-only
-    sites (``cli.py``, ``parallel/generate.py``, ``benchmarks/``) that report
-    wall runtime to humans and never feed it back into the simulation."""
+    (config, seed).  ``time.perf_counter`` and ``resource.getrusage`` (host
+    memory state, same hazard) are tolerated in the timing-only sites
+    (``cli.py``, ``parallel/generate.py``, ``obs/process.py``,
+    ``benchmarks/``) that report wall runtime and peak RSS to humans and
+    never feed either back into the simulation."""
 
     rule_id = "wall-clock"
     description = (
         "wall-clock reads (time.time/monotonic, datetime.now/utcnow) forbidden; "
-        "perf_counter only in timing-only allowlisted files"
+        "perf_counter/getrusage only in timing-only allowlisted files"
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         time_aliases = _module_aliases(ctx.tree, "time")
+        resource_aliases = _module_aliases(ctx.tree, "resource")
         datetime_aliases = _module_aliases(ctx.tree, "datetime")
         datetime_classes = {
             local
@@ -154,6 +160,15 @@ class WallClockRule(Rule):
                             f"time.{name.name} outside the timing-only allowlist; "
                             "keep host timing out of simulation/analysis code",
                         )
+            elif isinstance(node, ast.ImportFrom) and node.module == "resource":
+                for name in node.names:
+                    if name.name in _RUSAGE and not ctx.timing_allowed:
+                        yield ctx.finding(
+                            node,
+                            self.rule_id,
+                            f"resource.{name.name} outside the timing-only allowlist; "
+                            "host resource state belongs in repro.obs.process",
+                        )
             elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
                 func = node.func
                 value = func.value
@@ -172,6 +187,18 @@ class WallClockRule(Rule):
                             f"time.{func.attr}() outside the timing-only allowlist; "
                             "keep host timing out of simulation/analysis code",
                         )
+                elif (
+                    isinstance(value, ast.Name)
+                    and value.id in resource_aliases
+                    and func.attr in _RUSAGE
+                    and not ctx.timing_allowed
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"resource.{func.attr}() outside the timing-only allowlist; "
+                        "host resource state belongs in repro.obs.process",
+                    )
                 elif func.attr in _DATETIME_METHODS:
                     # datetime.datetime.now() / dt.date.today() / datetime.now()
                     if (

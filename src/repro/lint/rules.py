@@ -16,10 +16,15 @@ from typing import Iterable, Iterator, Type
 
 from repro.lint.findings import Finding
 
-#: Files allowed to call ``time.perf_counter`` without a suppression: the
-#: timing-only sites that report wall runtime to humans, never to the
+#: Files allowed to read host timing/resource state (``time.perf_counter``,
+#: ``resource.getrusage``) without a suppression: the observability sites
+#: that report wall runtime and peak RSS to humans, never to the
 #: simulation.  Matched as posix-path suffixes / components.
-TIMING_ALLOWLIST_SUFFIXES = ("repro/cli.py", "repro/parallel/generate.py")
+TIMING_ALLOWLIST_SUFFIXES = (
+    "repro/cli.py",
+    "repro/parallel/generate.py",
+    "repro/obs/process.py",
+)
 TIMING_ALLOWLIST_DIRS = ("benchmarks",)
 
 

@@ -26,6 +26,7 @@ from repro.obs.metrics import (
     NullRegistry,
     StreamingQuantile,
 )
+from repro.obs.process import peak_rss_mb
 from repro.obs.tracing import SpanRecorder, span
 
 __all__ = [
@@ -38,5 +39,6 @@ __all__ = [
     "NULL_REGISTRY",
     "NullRegistry",
     "SpanRecorder",
+    "peak_rss_mb",
     "span",
 ]

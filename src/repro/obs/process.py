@@ -1,0 +1,55 @@
+"""Host-process observability: the peak-RSS high-water mark.
+
+Everything else in :mod:`repro.obs` measures *simulated* quantities;
+this module deliberately reads **host** state (``resource.getrusage``)
+because memory, unlike time, has no simulated stand-in — the whole point
+of the out-of-core streaming merge (:mod:`repro.parallel.merge`) is a
+claim about real process RSS, and ``scripts/check.sh bench`` gates it.
+For that reason the module sits on the determinism linter's timing-only
+allowlist; host-state reads anywhere else in simulation or analysis code
+are flagged (rule ``wall-clock``), exactly like ``time.perf_counter``.
+
+The value is a *process-lifetime* high-water mark: it never decreases,
+so phase-specific bounds (e.g. "the merge's RSS") must be measured in a
+fresh subprocess that runs only that phase — which is how the benchmark
+harness uses it.  On Linux the reader is ``VmHWM`` from
+``/proc/self/status`` rather than ``getrusage``'s ``ru_maxrss``:
+``ru_maxrss`` is captured into the signal struct at ``fork`` and
+survives ``execve``, so a freshly spawned child would report the
+*parent's* footprint at spawn time, while ``VmHWM`` lives on the
+``mm`` that ``execve`` replaces and therefore measures only the new
+program.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+__all__ = ["peak_rss_mb"]
+
+
+def peak_rss_mb() -> Optional[float]:
+    """This process's peak resident set size in MiB, or ``None``.
+
+    ``None`` where neither ``/proc/self/status`` nor the stdlib
+    ``resource`` module is available (non-POSIX platforms) — callers and
+    the bench gate treat that as a logged skip, never an error.
+    ``VmHWM``/``ru_maxrss`` are kilobytes on Linux and ``ru_maxrss`` is
+    bytes on macOS; all are normalized to MiB.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return float(line.split()[1]) / 1024.0
+    except OSError:  # pragma: no cover - no procfs (macOS and friends)
+        pass
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - POSIX-only stdlib module
+        return None
+    peak = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss is in bytes
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0

@@ -37,7 +37,7 @@ from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.crawler.arrayfile import read_arrays, write_arrays
+from repro.crawler.arrayfile import atomic_output, read_arrays, write_arrays
 from repro.crawler.storage import sweep_stale_temps
 from repro.parallel.sharding import ShardSpec
 
@@ -215,12 +215,12 @@ class RunCheckpoint:
         meta: Optional[dict] = None,
     ) -> Path:
         """Checkpoint a shard generated in the parent (non-mmap transports)."""
-        temp = self.temp_path(shard_id)
-        try:
+        path = self.shard_path(shard_id)
+        with atomic_output(path) as temp:
             write_arrays(temp, arrays, meta=meta)
-            return self.publish_shard(shard_id, temp)
-        finally:
-            temp.unlink(missing_ok=True)
+        self._done.add(shard_id)
+        self.flush()
+        return path
 
     def flush(self) -> None:
         """Write the manifest atomically (tmp + ``os.replace``)."""
@@ -232,9 +232,5 @@ class RunCheckpoint:
             "done": sorted(self._done),
         }
         encoded = json.dumps(manifest, sort_keys=True, indent=1)
-        temp = self.root / f"{MANIFEST_NAME}.tmp{os.getpid()}"
-        try:
+        with atomic_output(self.root / MANIFEST_NAME) as temp:
             temp.write_text(encoded + "\n", "utf-8")
-            os.replace(temp, self.root / MANIFEST_NAME)
-        finally:
-            temp.unlink(missing_ok=True)

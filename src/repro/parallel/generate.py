@@ -30,9 +30,15 @@ module fans generation out over a :class:`~concurrent.futures.ProcessPoolExecuto
 * workloads too small to amortize pool startup fall back to the
   in-process walk (``MIN_BROADCASTS_PER_WORKER``) — the fallback only
   changes scheduling, never bytes,
-* shard outputs are merged with a stable argsort on
-  ``(start_time, broadcast_id)`` and globally re-keyed IDs
-  (:func:`repro.workload.trace.assemble_dataset_columns`),
+* shard outputs are merged either in memory — a stable argsort on
+  ``(start_time, broadcast_id)`` plus globally re-keyed IDs
+  (:func:`repro.workload.trace.assemble_dataset_columns`) — or, by
+  default whenever shard files already exist on disk (``run_dir`` or a
+  dataset cache), *out of core*: the streaming merge
+  (:mod:`repro.parallel.merge`) copies shard files straight into the
+  final ``mmap`` cache format in bounded windows, so peak RSS never
+  holds the whole dataset.  Both merges produce byte-identical files
+  (test-enforced); ``REPRO_TRACE_MERGE`` overrides the choice,
 * an optional on-disk cache (:class:`repro.crawler.storage.DatasetCache`,
   keyed by :meth:`TraceConfig.cache_key`) lets figure experiments reuse
   generated traces across processes.  The cache is probed *before* any
@@ -53,9 +59,11 @@ from __future__ import annotations
 
 import hashlib
 import os
+import shutil
 import tempfile
 import time
 from collections import deque
+from contextlib import ExitStack
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
@@ -63,9 +71,10 @@ from typing import Callable, Optional, Union
 
 import numpy as np
 
-from repro.obs import NULL_REGISTRY
-from repro.crawler.arrayfile import read_arrays, write_arrays
+from repro.obs import NULL_REGISTRY, peak_rss_mb
+from repro.crawler.arrayfile import atomic_output, read_arrays, write_arrays
 from repro.parallel.checkpoint import RunCheckpoint, shard_filename
+from repro.parallel.merge import stream_merge_shards
 from repro.parallel.faults import (
     PERSIST_FAULT_KINDS,
     PipelineFault,
@@ -92,6 +101,15 @@ from repro.workload.trace import (
 #: ``"pickle"`` is the legacy initargs/return-value path.
 TRANSPORTS = ("mmap", "pickle")
 TRANSPORT_ENV = "REPRO_TRACE_TRANSPORT"
+
+#: Merge strategies: ``"stream"`` runs the out-of-core streaming merge
+#: (:mod:`repro.parallel.merge`) over shard files on disk; ``"memory"``
+#: concatenates every shard's columns in RAM
+#: (:func:`~repro.workload.trace.assemble_dataset_columns`).  Identical
+#: bytes either way; the default depends on whether shard files exist
+#: anyway (run dir or dataset cache present → ``"stream"``).
+MERGES = ("memory", "stream")
+MERGE_ENV = "REPRO_TRACE_MERGE"
 
 #: Below this expected per-worker broadcast volume a process pool costs
 #: more than it saves, so generation stays in-process.  Overridable via
@@ -206,6 +224,27 @@ def resolve_transport(transport: Optional[str] = None) -> str:
     return transport
 
 
+def resolve_merge(merge: Optional[str] = None, default: str = "memory") -> str:
+    """Validate a merge-strategy choice, naming its source in the error.
+
+    ``None`` consults ``REPRO_TRACE_MERGE``, falling back to ``default``
+    (callers pass the context-appropriate one: ``"stream"`` when shard
+    files will exist on disk anyway, ``"memory"`` otherwise).  An
+    unknown value — passed or from the environment — raises a
+    ``ValueError`` listing the accepted strategies.
+    """
+    source = "merge argument"
+    if merge is None:
+        merge = os.environ.get(MERGE_ENV) or default
+        source = f"{MERGE_ENV} environment variable"
+    if merge not in MERGES:
+        raise ValueError(
+            f"unknown merge strategy {merge!r} (from {source}); "
+            f"expected one of {MERGES}"
+        )
+    return merge
+
+
 def validate_environment() -> None:
     """Fail fast on malformed generation env knobs.
 
@@ -215,6 +254,7 @@ def validate_environment() -> None:
     variable and the accepted values.
     """
     resolve_transport()
+    resolve_merge()
     fault_plan_from_env()
     _env_int(MIN_PER_WORKER_ENV, MIN_BROADCASTS_PER_WORKER)
     _env_int(SHARD_RETRIES_ENV, DEFAULT_SHARD_RETRIES)
@@ -495,6 +535,8 @@ def generate_dataset(
     transport: Optional[str] = None,
     run_dir: Optional[Union[str, Path]] = None,
     resume: bool = True,
+    merge: Optional[str] = None,
+    merge_path: Optional[Union[str, Path]] = None,
 ) -> BroadcastDataset:
     """Generate the broadcast dataset from a prebuilt context.
 
@@ -509,7 +551,22 @@ def generate_dataset(
     ``resume`` is true — shards already journaled ``done`` are loaded
     from disk instead of regenerated, so an interrupted run repeats no
     finished work.  Checkpointing never changes the merged bytes.
+
+    ``merge`` picks the shard-merge strategy (:data:`MERGES`; env
+    override ``REPRO_TRACE_MERGE``).  ``None`` defaults to the streaming
+    out-of-core merge whenever shard files exist on disk anyway
+    (``run_dir`` or ``merge_path`` given), in-memory otherwise — either
+    way the dataset bytes are identical.  ``merge_path`` names where the
+    streamed merge publishes its ``mmap``-format file (this is how
+    :func:`generate_trace` streams straight into the dataset-cache
+    entry); default is ``<run_dir>/merged.cols``, or a scratch file when
+    neither is given.
     """
+    merge = resolve_merge(
+        merge,
+        default="stream" if (run_dir is not None or merge_path is not None) else "memory",
+    )
+    stream = merge == "stream"
     transport = resolve_transport(transport)
     fault_plan = fault_plan_from_env()
 
@@ -530,71 +587,112 @@ def generate_dataset(
 
     generate_started = time.perf_counter()
     results: dict[int, list[BroadcastColumns]] = {}
+    shard_files: dict[int, Path] = {}
 
-    if checkpoint is not None and checkpoint.done_shards:
-        for shard_id in sorted(checkpoint.done_shards):
-            results[shard_id] = _read_shard_columns(
-                checkpoint.shard_path(shard_id), config.app_name
+    # Scratch space and the mmap transport dir are stack-managed so that
+    # in stream mode the shard files survive until the merge has read
+    # them; on POSIX the merged dataset's mappings survive the cleanup
+    # unlink, so the returned dataset outlives the stack.
+    with ExitStack() as stack:
+        scratch: Optional[Path] = None
+        if stream:
+            scratch = Path(
+                stack.enter_context(tempfile.TemporaryDirectory(prefix="repro-trace-merge-"))
             )
-        registry.counter(
-            "trace.shards_resumed", "checkpointed shards loaded instead of regenerated"
-        ).inc(checkpoint.resumed)
-    pending = [spec for spec in specs if spec.shard_id not in results]
 
-    def _checkpoint_columns(
-        spec: ShardSpec, attempt: int, day_columns: list[BroadcastColumns]
-    ) -> None:
-        """Journal parent-held columns (in-process and pickle paths)."""
-        if checkpoint is None:
-            return
-        path = checkpoint.write_shard(
-            spec.shard_id,
-            _columns_to_arrays(day_columns),
-            meta={"n_days": len(day_columns)},
-        )
-        inject_persist_fault(fault_plan, spec.shard_id, attempt, path)
+        if checkpoint is not None and checkpoint.done_shards:
+            for shard_id in sorted(checkpoint.done_shards):
+                if stream:
+                    shard_files[shard_id] = checkpoint.shard_path(shard_id)
+                else:
+                    results[shard_id] = _read_shard_columns(
+                        checkpoint.shard_path(shard_id), config.app_name
+                    )
+            registry.counter(
+                "trace.shards_resumed", "checkpointed shards loaded instead of regenerated"
+            ).inc(checkpoint.resumed)
+        pending = [
+            spec
+            for spec in specs
+            if spec.shard_id not in results and spec.shard_id not in shard_files
+        ]
 
-    def _finish_inline(spec: ShardSpec, attempt: int = 0) -> None:
-        """Generate one shard in-process (fallback and degraded modes)."""
-        shard_id, day_columns, seconds = _run_shard(spec, context)
-        _checkpoint_columns(spec, attempt, day_columns)
-        results[shard_id] = day_columns
-        shard_seconds.observe(seconds)
+        def _persist_columns(
+            spec: ShardSpec, attempt: int, day_columns: list[BroadcastColumns]
+        ) -> None:
+            """Persist parent-held columns (in-process and pickle paths).
 
-    if workers <= 1:
-        # In-process fallback: same shard walk, no executor.
-        for spec in pending:
-            _finish_inline(spec)
-    elif not pending:
-        pass  # fully resumed: nothing left to schedule
-    elif transport == "pickle":
+            Journals to the checkpoint when there is one; in stream mode
+            additionally guarantees a *clean* shard file for the merge to
+            read — the checkpoint copy when no persist fault is about to
+            damage it, a scratch copy otherwise.
+            """
+            path = None
+            if checkpoint is not None:
+                path = checkpoint.write_shard(
+                    spec.shard_id,
+                    _columns_to_arrays(day_columns),
+                    meta={"n_days": len(day_columns)},
+                )
+            if stream:
+                will_fault = path is not None and _persist_fault_pending(
+                    fault_plan, spec.shard_id, attempt
+                )
+                if path is None or will_fault:
+                    clean = scratch / shard_filename(spec.shard_id)
+                    write_arrays(
+                        clean,
+                        _columns_to_arrays(day_columns),
+                        meta={"n_days": len(day_columns)},
+                    )
+                    shard_files[spec.shard_id] = clean
+                else:
+                    shard_files[spec.shard_id] = path
+            if path is not None:
+                inject_persist_fault(fault_plan, spec.shard_id, attempt, path)
 
-        def _handle_pickle(spec: ShardSpec, attempt: int, result: tuple) -> None:
-            shard_id, day_columns, seconds = result
-            _checkpoint_columns(spec, attempt, day_columns)
-            results[shard_id] = day_columns
+        def _finish_inline(spec: ShardSpec, attempt: int = 0) -> None:
+            """Generate one shard in-process (fallback and degraded modes)."""
+            shard_id, day_columns, seconds = _run_shard(spec, context)
+            _persist_columns(spec, attempt, day_columns)
+            if not stream:
+                results[shard_id] = day_columns
             shard_seconds.observe(seconds)
 
-        _run_shards_resilient(
-            pending,
-            make_pool=lambda: ProcessPoolExecutor(
-                max_workers=workers, initializer=_init_worker, initargs=(context,)
-            ),
-            submit_shard=lambda pool, spec, attempt: pool.submit(
-                _run_shard, spec, None, attempt
-            ),
-            handle_result=_handle_pickle,
-            run_inline=_finish_inline,
-            registry=registry,
-        )
-    else:
-        # Zero-copy transport: context goes out as one mapped file, day
-        # columns come back as per-shard files.  With a checkpoint the
-        # shard files live (and stay) in the run dir; otherwise they sit
-        # in a temp dir removed as soon as the columns are mapped — on
-        # POSIX the mappings (and thus the merged dataset) survive the
-        # unlink.
-        with tempfile.TemporaryDirectory(prefix="repro-trace-") as tmp:
+        if workers <= 1:
+            # In-process fallback: same shard walk, no executor.
+            for spec in pending:
+                _finish_inline(spec)
+        elif not pending:
+            pass  # fully resumed: nothing left to schedule
+        elif transport == "pickle":
+
+            def _handle_pickle(spec: ShardSpec, attempt: int, result: tuple) -> None:
+                shard_id, day_columns, seconds = result
+                _persist_columns(spec, attempt, day_columns)
+                if not stream:
+                    results[shard_id] = day_columns
+                shard_seconds.observe(seconds)
+
+            _run_shards_resilient(
+                pending,
+                make_pool=lambda: ProcessPoolExecutor(
+                    max_workers=workers, initializer=_init_worker, initargs=(context,)
+                ),
+                submit_shard=lambda pool, spec, attempt: pool.submit(
+                    _run_shard, spec, None, attempt
+                ),
+                handle_result=_handle_pickle,
+                run_inline=_finish_inline,
+                registry=registry,
+            )
+        else:
+            # Zero-copy transport: context goes out as one mapped file, day
+            # columns come back as per-shard files.  With a checkpoint the
+            # shard files live (and stay) in the run dir; otherwise they sit
+            # in a stack-scoped temp dir — on POSIX the mappings (and thus
+            # the merged dataset) survive the cleanup unlink.
+            tmp = stack.enter_context(tempfile.TemporaryDirectory(prefix="repro-trace-"))
             context_path = Path(tmp) / "context.arrays"
             write_arrays(
                 context_path,
@@ -609,12 +707,23 @@ def generate_dataset(
                 else:
                     path = Path(tmp) / shard_filename(shard_id)
                     os.replace(temp_path, path)
-                # A persist fault about to damage this file means the
-                # mapped view would SIGBUS — materialize in RAM first.
-                will_fault = _persist_fault_pending(fault_plan, shard_id, attempt)
-                results[shard_id] = _read_shard_columns(
-                    path, config.app_name, copy=will_fault
+                # A persist fault about to damage this file means a mapped
+                # view would SIGBUS (memory merge) and the merge input would
+                # be corrupt (streamed) — take a private clean copy first.
+                will_fault = checkpoint is not None and _persist_fault_pending(
+                    fault_plan, shard_id, attempt
                 )
+                if stream:
+                    if will_fault:
+                        clean = scratch / shard_filename(shard_id)
+                        shutil.copyfile(path, clean)
+                        shard_files[shard_id] = clean
+                    else:
+                        shard_files[shard_id] = path
+                else:
+                    results[shard_id] = _read_shard_columns(
+                        path, config.app_name, copy=will_fault
+                    )
                 if checkpoint is not None:
                     inject_persist_fault(fault_plan, shard_id, attempt, path)
                 shard_seconds.observe(seconds)
@@ -633,18 +742,42 @@ def generate_dataset(
                 run_inline=_finish_inline,
                 registry=registry,
             )
-    registry.gauge(
-        "trace.generate_seconds", "wall seconds in per-day generation (all shards)"
-    ).set(time.perf_counter() - generate_started)
+        registry.gauge(
+            "trace.generate_seconds", "wall seconds in per-day generation (all shards)"
+        ).set(time.perf_counter() - generate_started)
 
-    merge_started = time.perf_counter()
-    ordered_days = [
-        day_columns for shard_id in sorted(results) for day_columns in results[shard_id]
-    ]
-    dataset = assemble_dataset_columns(config, ordered_days)
+        merge_started = time.perf_counter()
+        if stream:
+            if merge_path is not None:
+                out_path = Path(merge_path)
+            elif checkpoint is not None:
+                out_path = checkpoint.root / "merged.cols"
+            else:
+                out_path = scratch / "merged.cols"
+            dataset = stream_merge_shards(
+                config,
+                [shard_files[shard_id] for shard_id in sorted(shard_files)],
+                out_path,
+            )
+        else:
+            ordered_days = [
+                day_columns
+                for shard_id in sorted(results)
+                for day_columns in results[shard_id]
+            ]
+            dataset = assemble_dataset_columns(config, ordered_days)
     registry.gauge(
         "trace.merge_seconds", "wall seconds merging and re-keying shard output"
     ).set(time.perf_counter() - merge_started)
+    registry.gauge(
+        "trace.merge_streamed",
+        "1 when the out-of-core streaming merge produced the dataset, 0 in-memory",
+    ).set(1.0 if stream else 0.0)
+    rss = peak_rss_mb()
+    if rss is not None:
+        registry.gauge(
+            "trace.peak_rss_mb", "process peak RSS high-water mark (MiB, ru_maxrss)"
+        ).set(rss)
     registry.counter("trace.broadcasts", "broadcast records generated").inc(len(dataset))
     return dataset
 
@@ -690,8 +823,7 @@ def load_or_build_graph(
     graph = build_follow_graph(config)
     if path is not None and graph is not None:
         path.parent.mkdir(parents=True, exist_ok=True)
-        temp = path.with_name(path.name + f".tmp{os.getpid()}")
-        try:
+        with atomic_output(path) as temp:
             write_arrays(
                 temp,
                 {
@@ -702,9 +834,6 @@ def load_or_build_graph(
                     "rindices": graph.rindices,
                 },
             )
-            os.replace(temp, path)
-        finally:
-            temp.unlink(missing_ok=True)
     return graph
 
 
@@ -715,6 +844,7 @@ def generate_trace(
     cache_format: str = "v2",
     run_dir: Optional[Union[str, Path]] = None,
     resume: bool = True,
+    merge: Optional[str] = None,
 ) -> WorkloadTrace:
     """Generate (or load from cache) a full :class:`WorkloadTrace`.
 
@@ -731,6 +861,17 @@ def generate_trace(
 
     ``run_dir`` / ``resume`` enable shard checkpointing — see
     :func:`generate_dataset` and :mod:`repro.parallel.checkpoint`.
+
+    ``merge`` picks the shard-merge strategy (:data:`MERGES`, env
+    override ``REPRO_TRACE_MERGE``); ``None`` defaults to the streaming
+    out-of-core merge whenever a ``cache_dir`` or ``run_dir`` is given.
+    When the merge streams *and* the cache's format is ``mmap``, the
+    merged file is published directly as the cache entry (atomically,
+    under the same temp-name discipline the cache sweeps) — the
+    post-merge ``cache.put`` copy is skipped entirely, so the dataset is
+    serialized exactly once.  Other cache formats are an explicit
+    compression choice, so the streamed merge file stays local and
+    ``put`` stores the requested format as usual.
     """
     validate_environment()
 
@@ -773,10 +914,32 @@ def generate_trace(
         "trace.context_seconds", "wall seconds in precompute (graph + pools)"
     ).set(graph_seconds + (time.perf_counter() - context_started))
 
-    dataset = generate_dataset(
-        config, context, registry=registry, run_dir=run_dir, resume=resume
+    merge = resolve_merge(
+        merge,
+        default="stream" if (cache_dir is not None or run_dir is not None) else "memory",
     )
-    if cache is not None:
+    merge_path = None
+    if merge == "stream" and cache is not None and cache.fmt == "mmap":
+        # Stream the merge straight into the cache entry — the streamed
+        # output IS the mmap format.  ArrayFileWriter stages the file as
+        # `trace-<key>.cols.tmp<pid>`, which matches the cache's stale
+        # temp sweep, and publishes with the same os.replace the cache
+        # itself uses — the entry appears whole or not at all.  Other
+        # cache formats are compression choices the user made explicitly,
+        # so there the streamed merge file stays in the run dir (or
+        # scratch) and `put` serializes the requested format as before.
+        merge_path = cache.path_for(config.cache_key())
+
+    dataset = generate_dataset(
+        config,
+        context,
+        registry=registry,
+        run_dir=run_dir,
+        resume=resume,
+        merge=merge,
+        merge_path=merge_path,
+    )
+    if cache is not None and merge_path is None:
         cache.put(config.cache_key(), dataset)
 
     return WorkloadTrace(

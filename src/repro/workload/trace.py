@@ -427,11 +427,21 @@ def assemble_dataset_columns(
     never tie (day offsets are strictly below one day), so the day-local
     IDs only break ties within a day, where the keys agree.
     """
-    combined = BroadcastColumns.concat(list(day_columns))
+    combined = BroadcastColumns.concat(list(day_columns), app_name=config.app_name)
     order = np.lexsort((combined.broadcast_id, combined.start_time))
     if not np.array_equal(order, np.arange(len(order))):
         combined = combined.take(order)
-    combined.broadcast_id = np.arange(1, len(combined) + 1, dtype=np.int64)
+    n = len(combined)
+    ids = combined.broadcast_id
+    # Cheap endpoint probe first: day-local IDs restart at 1 every day, so
+    # anything but an already-global 1..n keying fails it without the full
+    # comparison, and the re-key allocation is skipped when it would be a
+    # no-op (single-day runs, resorted-but-already-keyed input).
+    already_keyed = n == 0 or (
+        ids[0] == 1 and ids[-1] == n and np.array_equal(ids, np.arange(1, n + 1))
+    )
+    if not already_keyed:
+        combined.broadcast_id = np.arange(1, n + 1, dtype=np.int64)
     return BroadcastDataset.from_columns(
         app_name=config.app_name, days=config.growth.days, columns=combined
     )

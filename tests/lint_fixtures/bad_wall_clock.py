@@ -1,6 +1,8 @@
-"""Fixture: violates wall-clock (time.time, monotonic, datetime.now, perf_counter)."""
+"""Fixture: violates wall-clock (time.time, monotonic, datetime.now,
+perf_counter, resource.getrusage)."""
 
 import datetime
+import resource
 import time
 
 
@@ -9,4 +11,5 @@ def stamp():
     tick = time.monotonic()
     today = datetime.datetime.now()
     precise = time.perf_counter()  # outside the timing-only allowlist
-    return started, tick, today, precise
+    rss = resource.getrusage(resource.RUSAGE_SELF)  # host state, same hazard
+    return started, tick, today, precise, rss
